@@ -1,0 +1,69 @@
+// Ablation: the two lowerings of ILP-MR's ADDPATH (eq. 6) requirement.
+//
+//  * kWalkIndicator — the paper-literal Lemma-1 unrolling: auxiliary
+//    binaries for every walk prefix, one-sided AND/OR rows. Weak LP
+//    relaxation: the solver must branch to push fractional reach chains to
+//    integrality.
+//  * kFlow — continuous single-commodity flows per (sink, type): no new
+//    binaries, flow conservation gives a near-integral relaxation.
+//
+// Same template, same requirement, identical final reliability; what
+// changes is model size, B&B nodes and wall time.
+#include <cstdio>
+
+#include "core/ilp_mr.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/solver.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace archex;
+  std::puts("=== Encoder ablation: ADDPATH via flows vs walk indicators ===\n");
+
+  TextTable table({"template", "encoding", "status", "iters", "rows",
+                   "vars", "B&B nodes", "solver (s)", "cost", "failure r"});
+
+  // g = 2 keeps the harness fast; a g = 3 run (flow 451 s vs walk 600 s,
+  // identical costs) is recorded in EXPERIMENTS.md.
+  for (const int g : {2}) {
+    eps::EpsSpec spec;
+    spec.num_generators = g;
+    const eps::EpsTemplate eps = eps::make_eps_template(spec);
+    const double target = g == 2 ? 1e-6 : 1e-9;
+
+    for (const auto encoding :
+         {core::PathEncoding::kFlow, core::PathEncoding::kWalkIndicator}) {
+      core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+      ilp::BranchAndBoundOptions bopt;
+      bopt.time_limit_seconds = 120.0;
+      ilp::BranchAndBoundSolver solver(bopt);
+      core::IlpMrOptions options;
+      options.target_failure = target;
+      options.encoding = encoding;
+      options.accept_incumbent = true;
+      const core::IlpMrReport rep = core::run_ilp_mr(ilp, solver, options);
+
+      table.add_row(
+          {"g=" + std::to_string(g),
+           encoding == core::PathEncoding::kFlow ? "flow" : "walk-indicator",
+           to_string(rep.status), format_count(rep.num_iterations()),
+           format_count(rep.num_rows), format_count(rep.num_variables),
+           format_count(rep.solver_nodes),
+           format_fixed(rep.solver_seconds, 1),
+           rep.configuration
+               ? format_fixed(rep.configuration->total_cost(), 0)
+               : "-",
+           rep.configuration ? format_sci(rep.failure, 2) : "-"});
+      std::fputs(table.to_string().c_str(), stdout);
+      std::puts("");
+    }
+  }
+  std::puts("expected: both encodings reach requirement-satisfying "
+            "architectures of the same cost. Their relative solver effort "
+            "is instance-dependent: flows add no binaries but more rows per "
+            "commodity; walk indicators add binaries with fewer rows per "
+            "requirement. (With Dantzig pricing the walk encoding was "
+            "catastrophically slower; Devex pricing and dual warm starts "
+            "level the field — see EXPERIMENTS.md.)");
+  return 0;
+}

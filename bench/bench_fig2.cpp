@@ -1,0 +1,65 @@
+// Fig. 2 reproduction: EPS architectures and reliability at each iteration
+// of an ILP-MR run with a tight requirement (r* = 2e-10).
+//
+// Paper (21-node template, CPLEX): iter 1 r = 6e-4 -> ESTPATH k = 2
+// (rho = 8e-4) -> iter 2 r = 2.8e-10 -> one fine-tuning path ->
+// iter 3 r = 0.79e-10 <= r*. Total ~38 s.
+//
+// Here (16-node template, g = 3, bundled B&B solver — see EXPERIMENTS.md on
+// scaling): the same shape must appear — a single-path architecture around
+// rho, a large k >= 2 jump from ESTPATH, then at most a couple of
+// fine-tuning iterations to land under r*.
+#include <cstdio>
+
+#include "core/ilp_mr.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/solver.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace archex;
+  std::puts("=== Fig. 2: ILP-MR iterations, r* = 2e-10 ===\n");
+
+  eps::EpsSpec spec;
+  spec.num_generators = 3;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  std::printf("EPS template: |V| = %d (%d generators + APU), %d candidate "
+              "interconnections\n\n",
+              eps.tmpl.num_components(), spec.num_generators,
+              eps.tmpl.num_candidate_edges());
+
+  core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+  ilp::BranchAndBoundOptions bopt;
+  bopt.time_limit_seconds = 180.0;
+  ilp::BranchAndBoundSolver solver(bopt);
+
+  core::IlpMrOptions options;
+  options.target_failure = 2e-10;
+  options.accept_incumbent = true;  // bounded bench runtime; see header
+
+  const core::IlpMrReport rep = core::run_ilp_mr(ilp, solver, options);
+
+  TextTable table({"iteration", "cost", "components", "interconnections",
+                   "failure r", "ESTPATH k", "new constraints"});
+  for (std::size_t i = 0; i < rep.iterations.size(); ++i) {
+    const auto& it = rep.iterations[i];
+    table.add_row({format_count(static_cast<long long>(i + 1)),
+                   format_fixed(it.cost, 0), format_count(it.num_components),
+                   format_count(it.num_edges), format_sci(it.failure, 2),
+                   format_count(it.estimated_k),
+                   format_count(it.new_constraints)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nresult: %s\n", to_string(rep.status).c_str());
+  if (rep.configuration) {
+    std::printf("final: %s, exact failure %.3e (target 2e-10)\n",
+                rep.configuration->summary().c_str(), rep.failure);
+  }
+  std::printf("timings: reliability analysis %.2fs, solver %.2fs "
+              "(%ld B&B nodes)\n",
+              rep.analysis_seconds, rep.solver_seconds, rep.solver_nodes);
+  std::puts("\npaper reference (21 nodes, CPLEX): r = 6e-4 -> k=2 -> "
+            "2.8e-10 -> 0.79e-10 in 3 iterations, ~38 s total.");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: the two exact K-terminal reliability analyzers. Factoring
+// (pivot decomposition with reachability pruning) vs. inclusion–exclusion
+// over minimal path sets, on EPS-shaped parallel-chain architectures with a
+// growing number of redundant paths. Inclusion–exclusion is 2^f in the path
+// count f; factoring rides the graph structure. google-benchmark timings.
+//
+// Interpretation notes (see EXPERIMENTS.md):
+//  * factoring grows ~3^k in the chain count k on fully parallel systems —
+//    exact analysis is exponential, which is the paper's very motivation
+//    for calling RELANALYSIS "only when needed";
+//  * inclusion–exclusion is faster here but its alternating sum suffers
+//    catastrophic cancellation once the true failure probability falls
+//    below ~1e-14 with many paths (it can even go negative) — factoring
+//    keeps full precision, which is why it is the default method.
+#include <benchmark/benchmark.h>
+
+#include "graph/digraph.hpp"
+#include "rel/exact.hpp"
+#include "rel/monte_carlo.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace archex;
+
+/// `chains` disjoint G->B->D->L chains sharing one sink, plus cross edges
+/// from every B to every D (raising the path count combinatorially).
+struct ParallelChains {
+  graph::Digraph g;
+  std::vector<graph::NodeId> sources;
+  graph::NodeId sink;
+  std::vector<double> p;
+
+  explicit ParallelChains(int chains, bool cross)
+      : g(3 * chains + 1), sink(3 * chains) {
+    for (int c = 0; c < chains; ++c) {
+      const int ggen = c;
+      const int bus = chains + c;
+      const int dc = 2 * chains + c;
+      sources.push_back(ggen);
+      g.add_edge(ggen, bus);
+      g.add_edge(bus, dc);
+      g.add_edge(dc, sink);
+    }
+    if (cross) {
+      for (int c = 0; c < chains; ++c) {
+        for (int d = 0; d < chains; ++d) {
+          if (c != d) g.add_edge(chains + c, 2 * chains + d);
+        }
+      }
+    }
+    p.assign(static_cast<std::size_t>(g.num_nodes()), 2e-4);
+    p[static_cast<std::size_t>(sink)] = 0.0;
+  }
+};
+
+void BM_Factoring(benchmark::State& state) {
+  const ParallelChains arch(static_cast<int>(state.range(0)),
+                            state.range(1) != 0);
+  double r = 0.0;
+  for (auto _ : state) {
+    r = rel::failure_probability(arch.g, arch.sources, arch.sink, arch.p,
+                                 rel::ExactMethod::kFactoring);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["failure"] = r;
+}
+
+void BM_InclusionExclusion(benchmark::State& state) {
+  const ParallelChains arch(static_cast<int>(state.range(0)),
+                            state.range(1) != 0);
+  double r = 0.0;
+  for (auto _ : state) {
+    try {
+      r = rel::failure_probability(arch.g, arch.sources, arch.sink, arch.p,
+                                   rel::ExactMethod::kInclusionExclusion);
+    } catch (const archex::Error&) {
+      state.SkipWithError("path count exceeds inclusion-exclusion limit");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["failure"] = r;
+}
+
+void BM_MonteCarlo100k(benchmark::State& state) {
+  const ParallelChains arch(static_cast<int>(state.range(0)),
+                            state.range(1) != 0);
+  Rng rng(7);
+  double r = 0.0;
+  for (auto _ : state) {
+    r = rel::monte_carlo_failure(arch.g, arch.sources, arch.sink, arch.p,
+                                 100000, rng)
+            .estimate;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["estimate"] = r;
+}
+
+// Args: {chains, cross-edges?}. Cross edges multiply the path count:
+// f = chains (disjoint) vs f = chains^2 (crossed).
+BENCHMARK(BM_Factoring)
+    ->Args({2, 0})->Args({4, 0})->Args({8, 0})->Args({12, 0})
+    ->Args({2, 1})->Args({3, 1})->Args({4, 1})->Args({6, 1})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InclusionExclusion)
+    ->Args({2, 0})->Args({4, 0})->Args({8, 0})->Args({16, 0})
+    ->Args({2, 1})->Args({3, 1})->Args({4, 1})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MonteCarlo100k)
+    ->Args({4, 0})->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table II reproduction: ILP-MR scalability — LEARNCONS (Algorithm 2) vs
+// the lazier strategy that adds only one path per iteration.
+//
+// Paper (r* = 1e-11, n = 5 types, CPLEX):
+//   |V| (gens)   LEARNCONS: iters / analysis / solver    LAZY: iters / analysis / solver
+//   20 (4)            3 /    34 s /  4.3 s                  4 /     72 s /  13 s
+//   30 (6)            3 /    78 s /    9 s                  7 /    852 s /  28 s
+//   40 (8)            3 /   106 s /   14 s                 10 /   9118 s /  58 s
+//   50 (10)           3 /   181 s /   18 s                 14 /  39563 s / 114 s
+//
+// The headline: LEARNCONS converges in ~3 iterations regardless of size,
+// while the lazy strategy's iteration count — and hence its total exact-
+// reliability-analysis time — explodes. We reproduce that shape on scaled
+// instances (g = 2..4; the bundled B&B replaces CPLEX, see EXPERIMENTS.md);
+// r* is set per size to the tightest value the template can meet.
+#include <cstdio>
+
+#include "core/ilp_mr.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/solver.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace archex;
+
+// NOTE: the template is passed in (not created here) because the returned
+// report's Configuration references it — templates must outlive results.
+core::IlpMrReport run(const eps::EpsTemplate& eps, double target,
+                      bool lazy) {
+  core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+  ilp::BranchAndBoundOptions bopt;
+  bopt.time_limit_seconds = 60.0;
+  ilp::BranchAndBoundSolver solver(bopt);
+  core::IlpMrOptions options;
+  options.target_failure = target;
+  options.lazy_strategy = lazy;
+  options.accept_incumbent = true;
+  options.max_iterations = 30;
+  return core::run_ilp_mr(ilp, solver, options);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table II: ILP-MR scalability, LEARNCONS vs lazy ===\n");
+
+  struct Row {
+    int generators;
+    double target;  // tightest requirement the template can achieve
+    bool run_lazy;  // the lazy strategy explodes with size (that is the
+                    // paper's point); bounded here to keep the harness
+                    // runnable — larger-size lazy rows are extrapolated in
+                    // EXPERIMENTS.md
+  };
+  // h_max per mid-layer type ~= g, so min r ~ 3 * g * p^g with p = 2e-4.
+  // g = 4 ILP-MR iterations exceed the bundled solver's per-solve budget
+  // (the k = 2 jump model finds no incumbent within it); the g = 2/3 pair
+  // already exhibits the paper's contrast. See EXPERIMENTS.md.
+  const Row rows[] = {{2, 1e-6, true}, {3, 2e-10, true}};
+
+  TextTable table({"|V| (gens)", "strategy", "status", "#iterations",
+                   "analysis (s)", "solver (s)", "cost", "failure r"});
+  for (const Row& row : rows) {
+    eps::EpsSpec spec;
+    spec.num_generators = row.generators;
+    const eps::EpsTemplate eps = eps::make_eps_template(spec);
+    for (const bool lazy : {false, true}) {
+      if (lazy && !row.run_lazy) continue;
+      const core::IlpMrReport rep = run(eps, row.target, lazy);
+      const int v = 5 * row.generators + 1;
+      table.add_row(
+          {std::to_string(v) + " (" + std::to_string(row.generators) + ")",
+           lazy ? "lazy" : "LEARNCONS", to_string(rep.status),
+           format_count(rep.num_iterations()),
+           format_fixed(rep.analysis_seconds, 2),
+           format_fixed(rep.solver_seconds, 1),
+           rep.configuration
+               ? format_fixed(rep.configuration->total_cost(), 0)
+               : "-",
+           rep.configuration ? format_sci(rep.failure, 2) : "-"});
+      std::fputs(table.to_string().c_str(), stdout);  // progress as we go
+      std::fflush(stdout);
+      std::puts("");
+    }
+  }
+
+  std::puts("expected shape (paper): LEARNCONS needs a near-constant ~3 "
+            "iterations; the lazy strategy's iteration count and analysis "
+            "time grow steeply with |V|.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table III reproduction: ILP-AR problem size and timing across template
+// sizes.
+//
+// Paper (r* = 1e-11, n = 5 types, CPLEX):
+//   |V| (gens)   #constraints   setup (s)   solver (s)
+//   20 (4)          5 290           27          11
+//   30 (6)         24 514          402          77
+//   40 (8)         74 258        3 341         494
+//   50 (10)       176 794       18 902       5 059
+//
+// The headline: the monolithic encoding (9)-(11) grows polynomially but
+// steeply (O(|V|^3 n) worst case), and both generation and solving blow up
+// with size — this is exactly why ILP-MR wins on larger templates. We
+// regenerate the encoding for g = 1..6 (|V| = 6..31), report constraint
+// counts and setup times for all sizes, and run the full solve on the sizes
+// the bundled B&B handles in bounded time (g <= 2).
+#include <cstdio>
+
+#include "core/ilp_ar.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/solver.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace archex;
+  std::puts("=== Table III: ILP-AR constraints / setup / solve ===\n");
+
+  TextTable table({"|V| (gens)", "#constraints", "#variables", "setup (s)",
+                   "solver (s)", "status"});
+
+  for (const int g : {1, 2, 3, 4, 5, 6}) {
+    eps::EpsSpec spec;
+    spec.num_generators = g;
+    const eps::EpsTemplate eps = eps::make_eps_template(spec);
+    core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+
+    core::IlpArOptions options;
+    // The paper's 1e-11 exceeds what the small templates can reach; the
+    // encoding size is requirement-independent, so a per-size achievable
+    // target keeps the solve step meaningful.
+    options.target_failure = g >= 3 ? 1e-10 : (g == 2 ? 1e-6 : 1e-3);
+
+    if (g <= 2) {
+      ilp::BranchAndBoundOptions bopt;
+      bopt.time_limit_seconds = 300.0;
+      ilp::BranchAndBoundSolver solver(bopt);
+      options.accept_incumbent = true;
+      const core::IlpArReport rep = core::run_ilp_ar(ilp, solver, options);
+      table.add_row({std::to_string(5 * g + 1) + " (" + std::to_string(g) +
+                         ")",
+                     format_count(rep.num_constraints),
+                     format_count(rep.num_variables),
+                     format_fixed(rep.setup_seconds, 3),
+                     format_fixed(rep.solver_seconds, 1),
+                     to_string(rep.status)});
+    } else {
+      const core::IlpArSize size = core::encode_ilp_ar(ilp, options);
+      table.add_row({std::to_string(5 * g + 1) + " (" + std::to_string(g) +
+                         ")",
+                     format_count(ilp.model().num_rows()),
+                     format_count(ilp.model().num_variables()),
+                     format_fixed(size.setup_seconds, 3), "-",
+                     "encode-only"});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
+  }
+
+  std::puts("expected shape (paper): constraint count and setup time grow "
+            "super-linearly with |V|; solves quickly become the dominant "
+            "cost — the regime where ILP-MR is preferable.");
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "core/arch_ilp.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace archex::core {
+
+using ilp::LinExpr;
+using ilp::Var;
+
+ArchitectureIlp::ArchitectureIlp(const Template& tmpl) : tmpl_(&tmpl) {
+  ARCHEX_REQUIRE(tmpl.num_components() > 0, "template has no components");
+
+  // Edge decision variables. They get the top branching priority: every
+  // auxiliary variable (δ, switches, reach indicators, x_ijk) is functionally
+  // determined once the edge set is integral.
+  edge_vars_.reserve(static_cast<std::size_t>(tmpl.num_candidate_edges()));
+  for (int k = 0; k < tmpl.num_candidate_edges(); ++k) {
+    const CandidateEdge& e = tmpl.candidate_edge(k);
+    const ilp::Var var = model_.add_binary(
+        "e_" + tmpl.component(e.from).name + "_" + tmpl.component(e.to).name);
+    model_.set_branch_priority(var, 10);
+    edge_vars_.push_back(var);
+  }
+
+  // Incident-edge lists per node.
+  std::vector<std::vector<Var>> incident(
+      static_cast<std::size_t>(tmpl.num_components()));
+  for (int k = 0; k < tmpl.num_candidate_edges(); ++k) {
+    const CandidateEdge& e = tmpl.candidate_edge(k);
+    incident[static_cast<std::size_t>(e.from)].push_back(edge_var(k));
+    incident[static_cast<std::size_t>(e.to)].push_back(edge_var(k));
+  }
+
+  // δ_v = OR(incident edges), linearized exactly in both directions so that
+  // power-adequacy rules cannot count unconnected components.
+  delta_.reserve(static_cast<std::size_t>(tmpl.num_components()));
+  for (graph::NodeId v = 0; v < tmpl.num_components(); ++v) {
+    const Var d = model_.add_binary("delta_" + tmpl.component(v).name);
+    delta_.push_back(d);
+    LinExpr sum;
+    for (Var e : incident[static_cast<std::size_t>(v)]) {
+      model_.add_row(LinExpr(d) - LinExpr(e) >= 0.0);  // δ >= e
+      sum += e;
+    }
+    if (incident[static_cast<std::size_t>(v)].empty()) {
+      model_.fix(d, 0.0);  // isolated template node can never be used
+    } else {
+      model_.add_row(LinExpr(d) - sum <= 0.0);  // δ <= Σ e
+    }
+  }
+
+  // Switch (contactor) variables: one per unordered candidate pair.
+  for (int k = 0; k < tmpl.num_candidate_edges(); ++k) {
+    const CandidateEdge& e = tmpl.candidate_edge(k);
+    const auto pair = std::minmax(e.from, e.to);
+    auto [it, inserted] = switch_vars_.try_emplace(
+        {pair.first, pair.second}, Var{});
+    if (inserted) {
+      it->second = model_.add_binary("s_" + std::to_string(pair.first) + "_" +
+                                     std::to_string(pair.second));
+    }
+    model_.add_row(LinExpr(it->second) - LinExpr(edge_var(k)) >= 0.0);
+  }
+
+  // Objective (1): Σ δ_i c_i + Σ (e_ij ∨ e_ji) c̃_ij.
+  LinExpr objective;
+  for (graph::NodeId v = 0; v < tmpl.num_components(); ++v) {
+    objective.add_term(delta_[static_cast<std::size_t>(v)],
+                       tmpl.component(v).cost);
+  }
+  for (const auto& [pair, svar] : switch_vars_) {
+    // Symmetry of c̃ is validated at template construction; either direction
+    // gives the same cost.
+    double switch_cost = 0.0;
+    if (const auto k = tmpl.edge_index(pair.first, pair.second)) {
+      switch_cost = tmpl.candidate_edge(*k).switch_cost;
+    } else if (const auto r = tmpl.edge_index(pair.second, pair.first)) {
+      switch_cost = tmpl.candidate_edge(*r).switch_cost;
+    }
+    objective.add_term(svar, switch_cost);
+  }
+  model_.set_objective(objective);
+}
+
+Var ArchitectureIlp::edge_var(int index) const {
+  ARCHEX_REQUIRE(index >= 0 && index < tmpl_->num_candidate_edges(),
+                 "edge index out of range");
+  return edge_vars_[static_cast<std::size_t>(index)];
+}
+
+std::optional<Var> ArchitectureIlp::edge_var(graph::NodeId from,
+                                             graph::NodeId to) const {
+  if (const auto k = tmpl_->edge_index(from, to)) return edge_var(*k);
+  return std::nullopt;
+}
+
+Var ArchitectureIlp::node_active(graph::NodeId v) const {
+  ARCHEX_REQUIRE(v >= 0 && v < tmpl_->num_components(),
+                 "component out of range");
+  return delta_[static_cast<std::size_t>(v)];
+}
+
+Var ArchitectureIlp::constant(bool value) {
+  auto& slot = value ? const_one_ : const_zero_;
+  if (!slot) {
+    const Var v = model_.add_binary(value ? "const_one" : "const_zero");
+    model_.fix(v, value ? 1.0 : 0.0);
+    slot = v;
+  }
+  return *slot;
+}
+
+void ArchitectureIlp::add_out_degree_rule(
+    graph::NodeId from, const std::vector<graph::NodeId>& to_set, int lo,
+    int hi) {
+  ARCHEX_REQUIRE(lo <= hi, "degree bounds must satisfy lo <= hi");
+  LinExpr count;
+  for (graph::NodeId to : to_set) {
+    if (const auto e = edge_var(from, to)) count += *e;
+  }
+  model_.add_row({count, static_cast<double>(lo), static_cast<double>(hi)},
+                 "outdeg_" + tmpl_->component(from).name);
+}
+
+void ArchitectureIlp::add_in_degree_rule(
+    graph::NodeId to, const std::vector<graph::NodeId>& from_set, int lo,
+    int hi) {
+  ARCHEX_REQUIRE(lo <= hi, "degree bounds must satisfy lo <= hi");
+  LinExpr count;
+  for (graph::NodeId from : from_set) {
+    if (const auto e = edge_var(from, to)) count += *e;
+  }
+  model_.add_row({count, static_cast<double>(lo), static_cast<double>(hi)},
+                 "indeg_" + tmpl_->component(to).name);
+}
+
+void ArchitectureIlp::add_conditional_successor_rule(
+    const std::vector<graph::NodeId>& triggers, graph::NodeId d,
+    const std::vector<graph::NodeId>& required) {
+  LinExpr feeders;
+  int num_feeders = 0;
+  for (graph::NodeId b : required) {
+    if (const auto e = edge_var(d, b)) {
+      feeders += *e;
+      ++num_feeders;
+    }
+  }
+  for (graph::NodeId l : triggers) {
+    const auto trigger = edge_var(l, d);
+    if (!trigger) continue;
+    // e_ld <= Σ_b e_db: selecting the trigger forces at least one feeder
+    // (exactly the linearization of OR(triggers) <= OR(required), eq. 3).
+    LinExpr row = feeders;
+    row -= LinExpr(*trigger);
+    model_.add_row(std::move(row) >= 0.0,
+                   "cond_" + tmpl_->component(d).name);
+    if (num_feeders == 0) {
+      // No candidate feeder exists: the trigger is simply forbidden.
+      model_.fix(*trigger, 0.0);
+    }
+  }
+}
+
+void ArchitectureIlp::add_conditional_predecessor_rule(
+    const std::vector<graph::NodeId>& targets, graph::NodeId d,
+    const std::vector<graph::NodeId>& required_preds) {
+  LinExpr feeders;
+  int num_feeders = 0;
+  for (graph::NodeId b : required_preds) {
+    if (const auto e = edge_var(b, d)) {
+      feeders += *e;
+      ++num_feeders;
+    }
+  }
+  for (graph::NodeId t : targets) {
+    const auto trigger = edge_var(d, t);
+    if (!trigger) continue;
+    LinExpr row = feeders;
+    row -= LinExpr(*trigger);
+    model_.add_row(std::move(row) >= 0.0,
+                   "condp_" + tmpl_->component(d).name);
+    if (num_feeders == 0) model_.fix(*trigger, 0.0);
+  }
+}
+
+void ArchitectureIlp::add_balance_rule(graph::NodeId d) {
+  LinExpr balance;
+  bool has_demand = false;
+  for (int k = 0; k < tmpl_->num_candidate_edges(); ++k) {
+    const CandidateEdge& e = tmpl_->candidate_edge(k);
+    if (e.to == d) {
+      balance.add_term(edge_var(k), tmpl_->component(e.from).power_supply);
+    } else if (e.from == d) {
+      const double demand = tmpl_->component(e.to).power_demand;
+      if (demand > 0.0) has_demand = true;
+      balance.add_term(edge_var(k), -demand);
+    }
+  }
+  if (!has_demand) return;  // nothing to balance
+  model_.add_row(std::move(balance) >= 0.0,
+                 "balance_" + tmpl_->component(d).name);
+}
+
+void ArchitectureIlp::add_global_power_adequacy() {
+  LinExpr supply;
+  for (graph::NodeId s : tmpl_->sources()) {
+    supply.add_term(node_active(s), tmpl_->component(s).power_supply);
+  }
+  double total_demand = 0.0;
+  for (graph::NodeId sink : tmpl_->sinks()) {
+    total_demand += tmpl_->component(sink).power_demand;
+  }
+  model_.add_row(std::move(supply) >= total_demand, "global_adequacy");
+}
+
+void ArchitectureIlp::require_all_sinks_fed() {
+  std::vector<graph::NodeId> all_nodes(
+      static_cast<std::size_t>(tmpl_->num_components()));
+  for (graph::NodeId v = 0; v < tmpl_->num_components(); ++v) {
+    all_nodes[static_cast<std::size_t>(v)] = v;
+  }
+  for (graph::NodeId sink : tmpl_->sinks()) {
+    add_in_degree_rule(sink, all_nodes, 1, tmpl_->num_components());
+  }
+}
+
+Configuration ArchitectureIlp::extract(const ilp::IlpResult& result) const {
+  ARCHEX_REQUIRE(!result.x.empty(),
+                 "cannot extract from a result without an assignment");
+  std::vector<bool> selected(
+      static_cast<std::size_t>(tmpl_->num_candidate_edges()));
+  for (int k = 0; k < tmpl_->num_candidate_edges(); ++k) {
+    selected[static_cast<std::size_t>(k)] = result.value_bool(edge_var(k));
+  }
+  return Configuration(*tmpl_, std::move(selected));
+}
+
+}  // namespace archex::core

@@ -1,0 +1,99 @@
+// archex/core/arch_ilp.hpp
+//
+// The base ILP over a template's candidate edges — the GENILP step shared by
+// ILP-MR (Algorithm 1) and ILP-AR (Algorithm 3). It owns:
+//
+//  * one binary decision variable per candidate edge (the set E);
+//  * node-activation binaries δ_i = OR of incident edges, linearized both
+//    ways so δ is exact (needed by power-adequacy rules);
+//  * per-unordered-pair switch binaries s_ij >= e_ij, s_ij >= e_ji charging
+//    each contactor once, per eq. (1);
+//  * the eq.-(1) objective  Σ δ_i c_i + Σ s_ij c̃_ij;
+//  * builders for the interconnection constraints (2), (3) and the balance
+//    equation (4).
+//
+// Reliability constraints are layered on top by LearnCons (ilp_mr.cpp) and
+// by the approximate-algebra encoder (ilp_ar.cpp).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/arch_template.hpp"
+#include "core/configuration.hpp"
+#include "ilp/model.hpp"
+#include "ilp/solver.hpp"
+
+namespace archex::core {
+
+class ArchitectureIlp {
+ public:
+  explicit ArchitectureIlp(const Template& tmpl);
+
+  [[nodiscard]] const Template& arch_template() const { return *tmpl_; }
+  [[nodiscard]] ilp::Model& model() { return model_; }
+  [[nodiscard]] const ilp::Model& model() const { return model_; }
+
+  /// Decision variable of candidate edge k.
+  [[nodiscard]] ilp::Var edge_var(int index) const;
+  /// Decision variable of the candidate edge from -> to, if declared.
+  [[nodiscard]] std::optional<ilp::Var> edge_var(graph::NodeId from,
+                                                 graph::NodeId to) const;
+  /// Activation variable δ_v.
+  [[nodiscard]] ilp::Var node_active(graph::NodeId v) const;
+
+  /// A binary variable fixed to 0/1 (shared; created on first use).
+  [[nodiscard]] ilp::Var constant(bool value);
+
+  // ---- interconnection requirement builders --------------------------------
+
+  /// eq. (2): bound the number of selected edges from `from` into `to_set`.
+  void add_out_degree_rule(graph::NodeId from,
+                           const std::vector<graph::NodeId>& to_set, int lo,
+                           int hi);
+
+  /// eq. (2) mirrored: bound the number of selected edges from `from_set`
+  /// into `to`.
+  void add_in_degree_rule(graph::NodeId to,
+                          const std::vector<graph::NodeId>& from_set, int lo,
+                          int hi);
+
+  /// eq. (3): if any edge from a node of `triggers` into `d` is selected,
+  /// then `d` must have at least one selected edge into `required`.
+  void add_conditional_successor_rule(
+      const std::vector<graph::NodeId>& triggers, graph::NodeId d,
+      const std::vector<graph::NodeId>& required);
+
+  /// eq. (3) mirrored: if any edge from `d` into a node of `targets` is
+  /// selected, then `d` must have at least one selected edge from
+  /// `required_preds` (d must itself be fed before it can feed others).
+  void add_conditional_predecessor_rule(
+      const std::vector<graph::NodeId>& targets, graph::NodeId d,
+      const std::vector<graph::NodeId>& required_preds);
+
+  /// eq. (4) at node d: Σ_{b ∈ cand preds} supply_b e_bd >=
+  ///                    Σ_{l ∈ cand succs} demand_l e_dl.
+  void add_balance_rule(graph::NodeId d);
+
+  /// Global adequacy: Σ_{sources} supply_s δ_s >= Σ_{sinks} demand (with all
+  /// sinks mandatory).
+  void add_global_power_adequacy();
+
+  /// Every sink must be fed: in-degree >= 1 over all candidate preds.
+  void require_all_sinks_fed();
+
+  /// Build the configuration selected by a solver result.
+  [[nodiscard]] Configuration extract(const ilp::IlpResult& result) const;
+
+ private:
+  const Template* tmpl_;
+  ilp::Model model_;
+  std::vector<ilp::Var> edge_vars_;
+  std::vector<ilp::Var> delta_;
+  std::map<std::pair<graph::NodeId, graph::NodeId>, ilp::Var> switch_vars_;
+  std::optional<ilp::Var> const_zero_;
+  std::optional<ilp::Var> const_one_;
+};
+
+}  // namespace archex::core

@@ -1,0 +1,117 @@
+#include "core/arch_template.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace archex::core {
+
+graph::NodeId Template::add_component(Component component) {
+  ARCHEX_REQUIRE(component.type >= 0, "component type must be non-negative");
+  ARCHEX_REQUIRE(component.cost >= 0.0, "component cost must be non-negative");
+  ARCHEX_REQUIRE(
+      component.failure_prob >= 0.0 && component.failure_prob <= 1.0,
+      "failure probability must lie in [0, 1]");
+  ARCHEX_REQUIRE(component.power_supply >= 0.0 &&
+                     component.power_demand >= 0.0,
+                 "power attributes must be non-negative");
+  components_.push_back(std::move(component));
+  return static_cast<graph::NodeId>(components_.size()) - 1;
+}
+
+int Template::add_candidate_edge(graph::NodeId from, graph::NodeId to,
+                                 double switch_cost) {
+  ARCHEX_REQUIRE(from >= 0 && from < num_components(), "from out of range");
+  ARCHEX_REQUIRE(to >= 0 && to < num_components(), "to out of range");
+  ARCHEX_REQUIRE(from != to, "self-loop candidates are not allowed");
+  ARCHEX_REQUIRE(switch_cost >= 0.0, "switch cost must be non-negative");
+  ARCHEX_REQUIRE(!edge_index(from, to).has_value(),
+                 "duplicate candidate edge");
+  if (const auto reverse = edge_index(to, from)) {
+    ARCHEX_REQUIRE(edges_[static_cast<std::size_t>(*reverse)].switch_cost ==
+                       switch_cost,
+                   "switch cost must be symmetric across a pair (c̃_ij)");
+  }
+  edges_.push_back({from, to, switch_cost});
+  return num_candidate_edges() - 1;
+}
+
+const Component& Template::component(graph::NodeId v) const {
+  ARCHEX_REQUIRE(v >= 0 && v < num_components(), "component out of range");
+  return components_[static_cast<std::size_t>(v)];
+}
+
+const CandidateEdge& Template::candidate_edge(int index) const {
+  ARCHEX_REQUIRE(index >= 0 && index < num_candidate_edges(),
+                 "edge index out of range");
+  return edges_[static_cast<std::size_t>(index)];
+}
+
+std::optional<int> Template::edge_index(graph::NodeId from,
+                                        graph::NodeId to) const {
+  for (std::size_t k = 0; k < edges_.size(); ++k) {
+    if (edges_[k].from == from && edges_[k].to == to) {
+      return static_cast<int>(k);
+    }
+  }
+  return std::nullopt;
+}
+
+graph::Partition Template::partition() const {
+  ARCHEX_REQUIRE(!components_.empty(), "template has no components");
+  std::vector<graph::TypeId> types;
+  types.reserve(components_.size());
+  for (const Component& c : components_) types.push_back(c.type);
+  return graph::Partition(types);
+}
+
+std::vector<graph::NodeId> Template::sources() const {
+  return partition().members(0);
+}
+
+std::vector<graph::NodeId> Template::sinks() const {
+  const graph::Partition part = partition();
+  return part.members(part.num_types() - 1);
+}
+
+graph::TypeId Template::num_types() const { return partition().num_types(); }
+
+graph::Digraph Template::candidate_graph() const {
+  graph::Digraph g(num_components());
+  for (const CandidateEdge& e : edges_) g.add_edge(e.from, e.to);
+  return g;
+}
+
+std::vector<double> Template::node_failure_probs() const {
+  std::vector<double> p;
+  p.reserve(components_.size());
+  for (const Component& c : components_) p.push_back(c.failure_prob);
+  return p;
+}
+
+std::vector<double> Template::type_failure_probs() const {
+  const graph::Partition part = partition();
+  std::vector<double> p(static_cast<std::size_t>(part.num_types()), 0.0);
+  for (graph::TypeId t = 0; t < part.num_types(); ++t) {
+    const auto& members = part.members(t);
+    const double first =
+        components_[static_cast<std::size_t>(members.front())].failure_prob;
+    for (graph::NodeId v : members) {
+      ARCHEX_REQUIRE(
+          components_[static_cast<std::size_t>(v)].failure_prob == first,
+          "approximate algebra requires a homogeneous failure probability "
+          "per type (p_j)");
+    }
+    p[static_cast<std::size_t>(t)] = first;
+  }
+  return p;
+}
+
+std::vector<std::string> Template::node_labels() const {
+  std::vector<std::string> labels;
+  labels.reserve(components_.size());
+  for (const Component& c : components_) labels.push_back(c.name);
+  return labels;
+}
+
+}  // namespace archex::core

@@ -1,0 +1,106 @@
+// archex/core/arch_template.hpp
+//
+// The architecture template T of Section II: a fixed set of components
+// (nodes) drawn from a library, plus the *candidate* interconnections the
+// synthesis may select. An assignment over the candidate-edge Booleans is a
+// configuration; the optimization picks the assignment minimizing eq. (1)
+// under interconnection and reliability requirements.
+//
+// Conventions (following the paper):
+//  * components carry a type; type 0 (Π_1) holds the sources and the last
+//    type (Π_n) holds the sinks of every functional link;
+//  * every candidate edge may carry a switch (contactor) cost c̃_ij, charged
+//    once per unordered pair via (e_ij ∨ e_ji) in the objective;
+//  * an edge between two components of the same type is the Section-V
+//    shorthand for redundant (parallel) components.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/partition.hpp"
+
+namespace archex::core {
+
+/// One component instance in the template, with its library attributes.
+struct Component {
+  std::string name;
+  graph::TypeId type = 0;
+  /// Instantiation cost c_i (eq. 1); must be non-negative.
+  double cost = 0.0;
+  /// Self-failure probability p_i in [0, 1].
+  double failure_prob = 0.0;
+  /// Terminal variable w as a *predecessor* in eq. (4): deliverable power.
+  double power_supply = 0.0;
+  /// Terminal variable w as a *successor* in eq. (4): drawn power.
+  double power_demand = 0.0;
+};
+
+/// One selectable interconnection with its switch (contactor) cost.
+struct CandidateEdge {
+  graph::NodeId from = -1;
+  graph::NodeId to = -1;
+  double switch_cost = 0.0;
+};
+
+class Template {
+ public:
+  /// Add a component; returns its node id. Components must be added so that
+  /// every used type in [0, max-type] ends up non-empty (partition rule).
+  graph::NodeId add_component(Component component);
+
+  /// Declare a candidate edge from -> to. A reverse candidate between the
+  /// same pair must carry the same switch cost (c̃ is symmetric in eq. 1).
+  int add_candidate_edge(graph::NodeId from, graph::NodeId to,
+                         double switch_cost);
+
+  [[nodiscard]] int num_components() const {
+    return static_cast<int>(components_.size());
+  }
+  [[nodiscard]] int num_candidate_edges() const {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] const Component& component(graph::NodeId v) const;
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] const CandidateEdge& candidate_edge(int index) const;
+  [[nodiscard]] const std::vector<CandidateEdge>& candidate_edges() const {
+    return edges_;
+  }
+
+  /// Index of the candidate edge from -> to, if declared.
+  [[nodiscard]] std::optional<int> edge_index(graph::NodeId from,
+                                              graph::NodeId to) const;
+
+  /// Node partition by component type (validates non-empty subsets).
+  [[nodiscard]] graph::Partition partition() const;
+
+  /// Sources: members of type 0 (Π_1).
+  [[nodiscard]] std::vector<graph::NodeId> sources() const;
+  /// Sinks: members of the last type (Π_n).
+  [[nodiscard]] std::vector<graph::NodeId> sinks() const;
+  [[nodiscard]] graph::TypeId num_types() const;
+
+  /// Digraph with every candidate edge present (the template's superset
+  /// structure, used for static pruning of walk-indicator encodings).
+  [[nodiscard]] graph::Digraph candidate_graph() const;
+
+  /// Per-node failure probabilities, index-aligned with components.
+  [[nodiscard]] std::vector<double> node_failure_probs() const;
+
+  /// Per-type failure probability (types must be homogeneous; validated).
+  [[nodiscard]] std::vector<double> type_failure_probs() const;
+
+  /// Labels for DOT export.
+  [[nodiscard]] std::vector<std::string> node_labels() const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<CandidateEdge> edges_;
+};
+
+}  // namespace archex::core

@@ -1,0 +1,125 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "graph/dot.hpp"
+#include "graph/paths.hpp"
+#include "support/check.hpp"
+
+namespace archex::core {
+
+Configuration::Configuration(const Template& tmpl,
+                             std::vector<bool> edge_selected)
+    : tmpl_(&tmpl), selected_(std::move(edge_selected)) {
+  ARCHEX_REQUIRE(
+      static_cast<int>(selected_.size()) == tmpl.num_candidate_edges(),
+      "selection vector must cover every candidate edge");
+}
+
+bool Configuration::edge_selected(int index) const {
+  ARCHEX_REQUIRE(index >= 0 && index < tmpl_->num_candidate_edges(),
+                 "edge index out of range");
+  return selected_[static_cast<std::size_t>(index)];
+}
+
+int Configuration::num_selected_edges() const {
+  return static_cast<int>(
+      std::count(selected_.begin(), selected_.end(), true));
+}
+
+std::vector<bool> Configuration::used_nodes() const {
+  std::vector<bool> used(static_cast<std::size_t>(tmpl_->num_components()),
+                         false);
+  for (int k = 0; k < tmpl_->num_candidate_edges(); ++k) {
+    if (!selected_[static_cast<std::size_t>(k)]) continue;
+    const CandidateEdge& e = tmpl_->candidate_edge(k);
+    used[static_cast<std::size_t>(e.from)] = true;
+    used[static_cast<std::size_t>(e.to)] = true;
+  }
+  return used;
+}
+
+int Configuration::num_used_nodes() const {
+  const auto used = used_nodes();
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+graph::Digraph Configuration::selected_graph() const {
+  graph::Digraph g(tmpl_->num_components());
+  for (int k = 0; k < tmpl_->num_candidate_edges(); ++k) {
+    if (!selected_[static_cast<std::size_t>(k)]) continue;
+    const CandidateEdge& e = tmpl_->candidate_edge(k);
+    if (!g.has_edge(e.from, e.to)) g.add_edge(e.from, e.to);
+  }
+  return g;
+}
+
+graph::Digraph Configuration::analysis_graph() const {
+  return graph::expand_same_type_shorthand(selected_graph(),
+                                           tmpl_->partition());
+}
+
+double Configuration::total_cost() const {
+  double cost = 0.0;
+  const auto used = used_nodes();
+  for (graph::NodeId v = 0; v < tmpl_->num_components(); ++v) {
+    if (used[static_cast<std::size_t>(v)]) cost += tmpl_->component(v).cost;
+  }
+  // Switch cost once per unordered pair with any selected direction.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> charged;
+  for (int k = 0; k < tmpl_->num_candidate_edges(); ++k) {
+    if (!selected_[static_cast<std::size_t>(k)]) continue;
+    const CandidateEdge& e = tmpl_->candidate_edge(k);
+    const auto pair = std::minmax(e.from, e.to);
+    if (charged.insert({pair.first, pair.second}).second) {
+      cost += e.switch_cost;
+    }
+  }
+  return cost;
+}
+
+double Configuration::failure_probability(graph::NodeId sink,
+                                          rel::ExactMethod method) const {
+  return rel::failure_probability(analysis_graph(), tmpl_->partition(), sink,
+                                  tmpl_->node_failure_probs(), method);
+}
+
+double Configuration::worst_failure_probability(
+    rel::ExactMethod method) const {
+  return rel::worst_failure_probability(analysis_graph(), tmpl_->partition(),
+                                        tmpl_->sinks(),
+                                        tmpl_->node_failure_probs(), method);
+}
+
+rel::ApproxResult Configuration::approximate_failure(
+    graph::NodeId sink) const {
+  return rel::approximate_failure(analysis_graph(), tmpl_->partition(), sink,
+                                  tmpl_->type_failure_probs());
+}
+
+double Configuration::worst_approximate_failure() const {
+  double worst = 0.0;
+  for (graph::NodeId sink : tmpl_->sinks()) {
+    worst = std::max(worst, approximate_failure(sink).r_tilde);
+  }
+  return worst;
+}
+
+std::string Configuration::to_dot(const std::string& title) const {
+  graph::DotStyle style;
+  style.node_labels = tmpl_->node_labels();
+  style.title = title;
+  return graph::to_dot(selected_graph(), tmpl_->partition(), style);
+}
+
+std::string Configuration::summary() const {
+  std::ostringstream os;
+  os << "components " << num_used_nodes() << '/' << tmpl_->num_components()
+     << ", edges " << num_selected_edges() << '/'
+     << tmpl_->num_candidate_edges() << ", cost " << total_cost();
+  return os.str();
+}
+
+}  // namespace archex::core

@@ -1,0 +1,108 @@
+#include "core/flow_encoder.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace archex::core {
+
+using graph::NodeId;
+using graph::TypeId;
+using ilp::LinExpr;
+using ilp::Var;
+
+FlowEncoder::FlowEncoder(ArchitectureIlp& ilp)
+    : ilp_(ilp), tmpl_(ilp.arch_template()), part_(tmpl_.partition()) {}
+
+FlowEncoder::Commodity& FlowEncoder::commodity(NodeId sink, TypeId type) {
+  const auto key = std::make_pair(sink, type);
+  if (const auto it = commodities_.find(key); it != commodities_.end()) {
+    return it->second;
+  }
+
+  Commodity com;
+  const auto cap = static_cast<double>(part_.members(type).size());
+  const std::string tag =
+      "f_s" + std::to_string(sink) + "_t" + std::to_string(type);
+
+  // Only edges that can lie on a member -> sink walk carry this commodity:
+  // the head must reach the sink and the tail must be reachable from some
+  // member (computed on the candidate graph). On a layered template this
+  // drops most rows — e.g. edges into *other* sinks can never matter.
+  const graph::Digraph candidates = tmpl_.candidate_graph();
+  const std::vector<bool> reaches_sink = candidates.reaching(sink);
+  std::vector<bool> from_member(
+      static_cast<std::size_t>(tmpl_.num_components()), false);
+  for (NodeId w : part_.members(type)) {
+    const auto reach = candidates.reachable_from(w);
+    for (std::size_t v = 0; v < reach.size(); ++v) {
+      if (reach[v]) from_member[v] = true;
+    }
+  }
+  auto relevant = [&](const CandidateEdge& e) {
+    return from_member[static_cast<std::size_t>(e.from)] &&
+           reaches_sink[static_cast<std::size_t>(e.to)];
+  };
+
+  // Flow variables with the selection coupling f <= cap * e.
+  com.edge_flow.assign(
+      static_cast<std::size_t>(tmpl_.num_candidate_edges()), Var{});
+  for (int k = 0; k < tmpl_.num_candidate_edges(); ++k) {
+    if (!relevant(tmpl_.candidate_edge(k))) continue;
+    const Var f = ilp_.model().add_continuous(0.0, cap, tag);
+    com.edge_flow[static_cast<std::size_t>(k)] = f;
+    LinExpr coupling(f);
+    coupling.add_term(ilp_.edge_var(k), -cap);
+    ilp_.model().add_row(std::move(coupling) <= 0.0, tag + "/cap");
+    ++flow_vars_;
+  }
+
+  // Per-node balance: members inject their supply (a continuous [0,1]
+  // variable), relays conserve, the sink absorbs.
+  std::vector<LinExpr> balance(
+      static_cast<std::size_t>(tmpl_.num_components()));
+  for (int k = 0; k < tmpl_.num_candidate_edges(); ++k) {
+    const Var f = com.edge_flow[static_cast<std::size_t>(k)];
+    if (!f.valid()) continue;
+    const CandidateEdge& e = tmpl_.candidate_edge(k);
+    balance[static_cast<std::size_t>(e.from)] += f;  // outflow
+    balance[static_cast<std::size_t>(e.to)] -= f;    // inflow
+  }
+  com.sink_inflow = -balance[static_cast<std::size_t>(sink)];
+
+  for (NodeId v = 0; v < tmpl_.num_components(); ++v) {
+    if (v == sink) continue;
+    LinExpr row = balance[static_cast<std::size_t>(v)];
+    if (part_.type_of(v) == type) {
+      if (row.empty()) continue;  // member with no usable edges
+      // outflow - inflow = supply in [0, 1].
+      const Var supply = ilp_.model().add_continuous(0.0, 1.0, tag + "/sup");
+      row.add_term(supply, -1.0);
+      ilp_.model().add_row(std::move(row) == 0.0, tag + "/bal");
+    } else {
+      if (row.empty()) continue;  // node not on any member->sink walk
+      ilp_.model().add_row(std::move(row) == 0.0, tag + "/bal");
+    }
+  }
+
+  return commodities_.emplace(key, std::move(com)).first->second;
+}
+
+void FlowEncoder::require_connected_members(NodeId sink, TypeId type,
+                                            int target) {
+  ARCHEX_REQUIRE(sink >= 0 && sink < tmpl_.num_components(),
+                 "sink out of range");
+  ARCHEX_REQUIRE(type >= 0 && type < part_.num_types(), "type out of range");
+  ARCHEX_REQUIRE(target >= 1, "target must be at least 1");
+  ARCHEX_REQUIRE(
+      target <= static_cast<int>(part_.members(type).size()),
+      "target exceeds the number of members of the type");
+  Commodity& com = commodity(sink, type);
+  LinExpr inflow = com.sink_inflow;
+  ilp_.model().add_row(std::move(inflow) >= static_cast<double>(target),
+                       "connmembers_s" + std::to_string(sink) + "_t" +
+                           std::to_string(type) + "_k" +
+                           std::to_string(target));
+}
+
+}  // namespace archex::core

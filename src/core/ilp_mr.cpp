@@ -1,0 +1,291 @@
+#include "core/ilp_mr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/flow_encoder.hpp"
+#include "core/reach_encoder.hpp"
+#include "graph/bool_matrix.hpp"
+#include "graph/paths.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace archex::core {
+
+namespace {
+
+using graph::NodeId;
+using graph::TypeId;
+
+/// LEARNCONS working state kept across iterations: the reach encoder reuses
+/// auxiliary variables, and per-(sink, type) targets guarantee progress (a
+/// new row is only added when it strictly raises the enforced path count,
+/// which is bounded by the type size — so the loop terminates).
+class ConstraintLearner {
+ public:
+  ConstraintLearner(ArchitectureIlp& ilp, PathEncoding encoding)
+      : ilp_(ilp),
+        tmpl_(ilp.arch_template()),
+        part_(tmpl_.partition()),
+        encoding_(encoding),
+        walk_encoder_(ilp),
+        flow_encoder_(ilp) {}
+
+  /// ESTPATH: k = floor(log(r*/r) / log(rho)) with rho the failure
+  /// probability of one existing path of the worst sink (conservative when
+  /// paths are not independent, as the paper notes).
+  [[nodiscard]] int estimate_paths(double failure, double target,
+                                   const Configuration& config,
+                                   NodeId worst_sink) const {
+    if (failure <= 0.0 || failure <= target) return 0;
+    const double rho = single_path_failure(config, worst_sink);
+    if (rho <= 0.0 || rho >= 1.0) return 0;
+    const double ratio = target / failure;  // < 1 here
+    if (ratio <= 0.0) return 0;
+    const double k = std::log(ratio) / std::log(rho);
+    if (!std::isfinite(k) || k <= 0.0) return 0;
+    // Cap at the largest type size: more redundancy cannot be enforced.
+    int cap = 0;
+    for (TypeId t = 0; t < part_.num_types(); ++t) {
+      cap = std::max(cap, static_cast<int>(part_.members(t).size()));
+    }
+    return std::min(static_cast<int>(k), cap);
+  }
+
+  /// LEARNCONS body: returns the number of rows added (0 -> UNFEASIBLE).
+  int learn(const Configuration& config, int k) {
+    const graph::Digraph selected = config.selected_graph();
+    int added = 0;
+    for (NodeId sink : tmpl_.sinks()) {
+      if (k >= 1) {
+        // All non-sink types, from the layer next to the sinks backwards
+        // (T_{n-1}, ..., T_1 in the paper's 1-based notation).
+        for (TypeId t = part_.num_types() - 2; t >= 0; --t) {
+          added += add_path(sink, t, k, selected);
+        }
+      } else {
+        const TypeId t = find_min_red_type(sink, selected);
+        if (t >= 0) added += add_path(sink, t, 1, selected);
+      }
+    }
+    return added;
+  }
+
+ private:
+  /// Walk length for connecting type t to a sink. The walk-indicator
+  /// encoding uses the paper's n - i + 1 (layer distance plus one same-type
+  /// hop); the flow encoding imposes no length cap, so redundancy is counted
+  /// with unbounded walks to match.
+  [[nodiscard]] int walk_length(TypeId t) const {
+    if (encoding_ == PathEncoding::kFlow) {
+      return std::max(1, tmpl_.num_components() - 1);
+    }
+    return part_.num_types() - t;
+  }
+
+  /// Number of type-t members with a walk (length <= len) to `sink` in the
+  /// given architecture: Σ_w η*_{len}(w, sink).
+  [[nodiscard]] int redundancy_count(const graph::Digraph& g, TypeId t,
+                                     NodeId sink, int len) const {
+    const graph::BoolMatrix eta = graph::walk_indicator(g, len);
+    int count = 0;
+    for (NodeId w : part_.members(t)) {
+      if (w != sink && eta.get(w, sink)) ++count;
+    }
+    return count;
+  }
+
+  /// Upper bound on the achievable count: members with a candidate walk.
+  [[nodiscard]] int available_count(TypeId t, NodeId sink, int len) const {
+    const graph::BoolMatrix eta =
+        graph::walk_indicator(tmpl_.candidate_graph(), len);
+    int count = 0;
+    for (NodeId w : part_.members(t)) {
+      if (w != sink && eta.get(w, sink)) ++count;
+    }
+    return count;
+  }
+
+  /// ADDPATH: enforce eq. (6), Σ_w η_{len}(w, sink) >= current + k (capped
+  /// at the template's maximum), over the decision-edge walk indicators.
+  int add_path(NodeId sink, TypeId t, int k, const graph::Digraph& selected) {
+    const int len = walk_length(t);
+    const int current = redundancy_count(selected, t, sink, len);
+    const int available = available_count(t, sink, len);
+    const int target = std::min(current + k, available);
+
+    auto& enforced = enforced_[{sink, t}];
+    if (target <= current || target <= enforced) return 0;
+
+    if (encoding_ == PathEncoding::kFlow) {
+      flow_encoder_.require_connected_members(sink, t, target);
+    } else {
+      ilp::LinExpr count;
+      for (NodeId w : part_.members(t)) {
+        if (w == sink) continue;
+        if (const auto var = walk_encoder_.walk_to(sink, w, len)) {
+          count += *var;
+        }
+      }
+      ilp_.model().add_row(std::move(count) >= static_cast<double>(target),
+                           "addpath_s" + std::to_string(sink) + "_t" +
+                               std::to_string(t) + "_k" +
+                               std::to_string(target));
+    }
+    enforced = target;
+    return 1;
+  }
+
+  /// FINDMINREDTYPE: the non-sink type with the fewest members connected to
+  /// the sink, among types that can still be improved; -1 if none.
+  [[nodiscard]] TypeId find_min_red_type(NodeId sink,
+                                         const graph::Digraph& selected) const {
+    TypeId best = -1;
+    int best_count = std::numeric_limits<int>::max();
+    for (TypeId t = 0; t + 1 < part_.num_types(); ++t) {
+      const int len = walk_length(t);
+      const int current = redundancy_count(selected, t, sink, len);
+      if (current >= available_count(t, sink, len)) continue;
+      const auto it = enforced_.find({sink, t});
+      if (it != enforced_.end() && it->second > current) continue;
+      if (current < best_count) {
+        best_count = current;
+        best = t;
+      }
+    }
+    return best;
+  }
+
+  /// Failure probability of one existing source->sink path of the current
+  /// architecture: rho = 1 - prod (1 - p_v) over the path's nodes.
+  [[nodiscard]] double single_path_failure(const Configuration& config,
+                                           NodeId sink) const {
+    const graph::Digraph g = config.analysis_graph();
+    const auto paths =
+        graph::enumerate_simple_paths(g, tmpl_.sources(), sink, 1u << 12);
+    if (paths.empty()) return 1.0;
+    const auto& p = tmpl_.node_failure_probs();
+    double survive = 1.0;
+    for (NodeId v : paths.front()) {
+      survive *= 1.0 - p[static_cast<std::size_t>(v)];
+    }
+    return 1.0 - survive;
+  }
+
+  ArchitectureIlp& ilp_;
+  const Template& tmpl_;
+  graph::Partition part_;
+  PathEncoding encoding_;
+  ReachEncoder walk_encoder_;
+  FlowEncoder flow_encoder_;
+  std::map<std::pair<NodeId, TypeId>, int> enforced_;
+};
+
+/// RELANALYSIS: exact worst-sink failure, also reporting which sink is worst.
+std::pair<double, NodeId> worst_sink_failure(const Configuration& config,
+                                             rel::ExactMethod method) {
+  const Template& tmpl = config.architecture_template();
+  const graph::Digraph g = config.analysis_graph();
+  const auto p = tmpl.node_failure_probs();
+  const auto part = tmpl.partition();
+  double worst = -1.0;
+  NodeId worst_sink = -1;
+  for (NodeId sink : tmpl.sinks()) {
+    const double r = rel::failure_probability(g, part, sink, p, method);
+    if (r > worst) {
+      worst = r;
+      worst_sink = sink;
+    }
+  }
+  return {worst, worst_sink};
+}
+
+}  // namespace
+
+IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
+                       const IlpMrOptions& options) {
+  ARCHEX_REQUIRE(options.target_failure > 0.0 && options.target_failure < 1.0,
+                 "target failure probability must lie in (0, 1)");
+  ARCHEX_REQUIRE(options.max_iterations >= 1,
+                 "need at least one ILP-MR iteration");
+
+  IlpMrReport report;
+  Stopwatch solver_watch;
+  Stopwatch analysis_watch;
+  ConstraintLearner learner(ilp, options.encoding);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    solver_watch.start();
+    const ilp::IlpResult result = solver.solve(ilp.model());
+    solver_watch.stop();
+    report.solver_nodes += result.nodes_explored;
+
+    if (result.status == ilp::IlpStatus::kInfeasible) {
+      report.status = SynthesisStatus::kUnfeasible;
+      break;
+    }
+    const bool usable =
+        result.optimal() || (options.accept_incumbent && !result.x.empty());
+    if (!usable) {
+      report.status = SynthesisStatus::kSolverFailure;
+      break;
+    }
+
+    Configuration config = ilp.extract(result);
+
+    analysis_watch.start();
+    const auto [failure, worst_sink] =
+        worst_sink_failure(config, options.method);
+    analysis_watch.stop();
+
+    MrIteration log;
+    log.cost = config.total_cost();
+    log.failure = failure;
+    log.num_edges = config.num_selected_edges();
+    log.num_components = config.num_used_nodes();
+
+    if (failure <= options.target_failure) {
+      report.iterations.push_back(log);
+      report.status = SynthesisStatus::kSuccess;
+      report.configuration = std::move(config);
+      report.failure = failure;
+      break;
+    }
+
+    analysis_watch.start();
+    const int k = options.lazy_strategy
+                      ? 0
+                      : learner.estimate_paths(failure,
+                                               options.target_failure, config,
+                                               worst_sink);
+    const int added = learner.learn(config, k);
+    analysis_watch.stop();
+
+    log.estimated_k = k;
+    log.new_constraints = added;
+    report.iterations.push_back(log);
+
+    if (added == 0) {
+      // The learnable constraint space is exhausted. With a proven-optimal
+      // solve this is the paper's UNFEASIBLE; a time-limited incumbent
+      // (accept_incumbent) can be denser than the optimum and exhaust the
+      // counts prematurely, so report the weaker verdict in that case.
+      report.status = result.optimal() ? SynthesisStatus::kUnfeasible
+                                       : SynthesisStatus::kSolverFailure;
+      break;
+    }
+    if (iter + 1 == options.max_iterations) {
+      report.status = SynthesisStatus::kIterationLimit;
+    }
+  }
+
+  report.analysis_seconds = analysis_watch.elapsed_seconds();
+  report.solver_seconds = solver_watch.elapsed_seconds();
+  report.num_rows = ilp.model().num_rows();
+  report.num_variables = ilp.model().num_variables();
+  return report;
+}
+
+}  // namespace archex::core

@@ -1,0 +1,101 @@
+// archex/core/ilp_mr.hpp
+//
+// ILP Modulo Reliability (Algorithm 1) with the LEARNCONS constraint-learning
+// routine (Algorithm 2). The ILP solver and an *exact* reliability analysis
+// run in a lazy loop:
+//
+//   loop:
+//     e*  <- SolveILP(Cost, Cons)          (minimum-cost architecture)
+//     r   <- RelAnalysis(e*, p)            (exact, worst sink)
+//     if r <= r*: return e*
+//     Cons <- LearnCons(Cons, r, r*, e*)   (enforce more redundant paths)
+//
+// LEARNCONS estimates the number of additional redundant paths
+//   k = floor( log(r*/r) / log(rho) )                  (ESTPATH)
+// from the failure probability rho of a single path, then enforces — for
+// every sink and every component type — k additional type-members with a
+// selected walk to the sink, via eq. (6) over the walk-indicator encoding
+// (ADDPATH). When k == 0 it instead adds one path to the type with minimum
+// redundancy (FINDMINREDTYPE). The "lazy" strategy of Table II (bottom)
+// always takes the k == 0 branch.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/arch_ilp.hpp"
+#include "core/configuration.hpp"
+#include "core/synthesis_status.hpp"
+#include "ilp/solver.hpp"
+#include "rel/exact.hpp"
+
+namespace archex::core {
+
+/// How ADDPATH's eq.-(6) rows are lowered to the ILP.
+enum class PathEncoding {
+  /// Continuous single-commodity flows per (sink, type): no auxiliary
+  /// binaries, tight LP relaxation (default; see flow_encoder.hpp).
+  kFlow,
+  /// Literal Lemma-1 walk-indicator unrolling over decision edges with
+  /// length bound n - i + 1 (paper-faithful; weaker LP relaxation —
+  /// bench_encoder_ablation measures the gap).
+  kWalkIndicator,
+};
+
+struct IlpMrOptions {
+  /// Reliability requirement r*: worst-case sink failure probability.
+  double target_failure = 1e-9;
+  /// Abort after this many solve/analyze/learn iterations.
+  int max_iterations = 50;
+  /// Table II bottom: ignore ESTPATH and add a single path per iteration to
+  /// the minimum-redundancy type.
+  bool lazy_strategy = false;
+  /// Exact analyzer used by RELANALYSIS.
+  rel::ExactMethod method = rel::ExactMethod::kFactoring;
+  /// Lowering used for the learned eq.-(6) constraints.
+  PathEncoding encoding = PathEncoding::kFlow;
+  /// Accept a solver incumbent when the node/time limit trips before the
+  /// optimality proof completes. Reliability soundness is unaffected (the
+  /// exact RELANALYSIS still gates acceptance); only cost optimality may
+  /// degrade. Benchmarks enable this to bound their runtime.
+  bool accept_incumbent = false;
+};
+
+/// One row of the per-iteration trace (Fig. 2 of the paper).
+struct MrIteration {
+  double cost = 0.0;
+  double failure = 1.0;     // exact worst-sink failure of this iteration
+  int estimated_k = 0;      // ESTPATH output used to learn constraints
+  int new_constraints = 0;  // rows added by LEARNCONS after this iteration
+  int num_edges = 0;
+  int num_components = 0;
+};
+
+struct IlpMrReport {
+  SynthesisStatus status = SynthesisStatus::kSolverFailure;
+  std::optional<Configuration> configuration;
+  /// Exact worst-sink failure probability of the final architecture.
+  double failure = 1.0;
+  std::vector<MrIteration> iterations;
+
+  // Phase timings, as reported in Table II.
+  double analysis_seconds = 0.0;
+  double solver_seconds = 0.0;
+  long solver_nodes = 0;
+
+  // Final model size.
+  int num_rows = 0;
+  int num_variables = 0;
+
+  [[nodiscard]] int num_iterations() const {
+    return static_cast<int>(iterations.size());
+  }
+};
+
+/// Run ILP-MR on a prepared base ILP (interconnection + balance rules built
+/// by the caller). Learned reliability constraints are appended to `ilp`.
+[[nodiscard]] IlpMrReport run_ilp_mr(ArchitectureIlp& ilp,
+                                     ilp::IlpSolver& solver,
+                                     const IlpMrOptions& options);
+
+}  // namespace archex::core

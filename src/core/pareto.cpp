@@ -1,0 +1,48 @@
+#include "core/pareto.hpp"
+
+#include "support/check.hpp"
+
+namespace archex::core {
+
+ParetoFrontier sweep_pareto_frontier(
+    const std::function<ArchitectureIlp()>& make_base_ilp,
+    ilp::IlpSolver& solver, const ParetoOptions& options) {
+  ARCHEX_REQUIRE(options.initial_target > 0.0 && options.initial_target < 1.0,
+                 "initial target must lie in (0, 1)");
+  ARCHEX_REQUIRE(
+      options.tighten_factor > 0.0 && options.tighten_factor < 1.0,
+      "tighten factor must lie in (0, 1)");
+  ARCHEX_REQUIRE(options.max_points >= 1, "need at least one sweep point");
+
+  ParetoFrontier frontier;
+  double target = options.initial_target;
+  for (int step = 0; step < options.max_points; ++step) {
+    ArchitectureIlp ilp = make_base_ilp();
+    IlpArOptions ar;
+    ar.target_failure = target;
+    ar.accept_incumbent = options.accept_incumbent;
+    IlpArReport report = run_ilp_ar(ilp, solver, ar);
+
+    frontier.terminal_status = report.status;
+    if (report.status != SynthesisStatus::kSuccess) break;
+
+    ParetoPoint point{target, report.configuration->total_cost(),
+                      report.approx_failure, report.exact_failure,
+                      std::move(*report.configuration)};
+    // Guard against a degenerate step: if the achieved estimate did not
+    // move below the previous point's, tightening stalls — stop.
+    if (!frontier.points.empty() &&
+        point.approx_failure >= frontier.points.back().approx_failure) {
+      frontier.points.push_back(std::move(point));
+      break;
+    }
+    frontier.points.push_back(std::move(point));
+
+    const double achieved = frontier.points.back().approx_failure;
+    if (achieved <= 0.0) break;  // perfectly reliable: nothing tighter
+    target = achieved * options.tighten_factor;
+  }
+  return frontier;
+}
+
+}  // namespace archex::core

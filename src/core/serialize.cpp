@@ -1,0 +1,114 @@
+#include "core/serialize.hpp"
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace archex::core {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+void check_header(const json::Value& doc, const std::string& format) {
+  ARCHEX_REQUIRE(doc.at("format").as_string() == format,
+                 "unexpected document format");
+  ARCHEX_REQUIRE(doc.at("version").as_int() == kVersion,
+                 "unsupported document version");
+}
+
+}  // namespace
+
+std::string to_json(const Template& tmpl) {
+  json::Array components;
+  for (const Component& c : tmpl.components()) {
+    components.push_back(json::Object{
+        {"name", c.name},
+        {"type", c.type},
+        {"cost", c.cost},
+        {"failure_prob", c.failure_prob},
+        {"power_supply", c.power_supply},
+        {"power_demand", c.power_demand},
+    });
+  }
+  json::Array edges;
+  for (const CandidateEdge& e : tmpl.candidate_edges()) {
+    edges.push_back(json::Object{
+        {"from", e.from},
+        {"to", e.to},
+        {"switch_cost", e.switch_cost},
+    });
+  }
+  const json::Value doc = json::Object{
+      {"format", "archex-template"},
+      {"version", kVersion},
+      {"components", std::move(components)},
+      {"candidate_edges", std::move(edges)},
+  };
+  return json::dump(doc, 2);
+}
+
+Template template_from_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  check_header(doc, "archex-template");
+
+  Template tmpl;
+  for (const json::Value& entry : doc.at("components").as_array()) {
+    Component c;
+    c.name = entry.at("name").as_string();
+    c.type = entry.at("type").as_int();
+    c.cost = entry.at("cost").as_number();
+    c.failure_prob = entry.at("failure_prob").as_number();
+    c.power_supply = entry.get("power_supply", json::Value(0.0)).as_number();
+    c.power_demand = entry.get("power_demand", json::Value(0.0)).as_number();
+    tmpl.add_component(std::move(c));
+  }
+  for (const json::Value& entry : doc.at("candidate_edges").as_array()) {
+    tmpl.add_candidate_edge(entry.at("from").as_int(),
+                            entry.at("to").as_int(),
+                            entry.at("switch_cost").as_number());
+  }
+  // Surface structural problems (empty types etc.) at load time.
+  (void)tmpl.partition();
+  return tmpl;
+}
+
+std::string to_json(const Configuration& config) {
+  json::Array selected;
+  const Template& tmpl = config.architecture_template();
+  for (int k = 0; k < tmpl.num_candidate_edges(); ++k) {
+    if (config.edge_selected(k)) selected.push_back(k);
+  }
+  const json::Value doc = json::Object{
+      {"format", "archex-configuration"},
+      {"version", kVersion},
+      {"template_components", tmpl.num_components()},
+      {"template_candidate_edges", tmpl.num_candidate_edges()},
+      {"selected_edges", std::move(selected)},
+  };
+  return json::dump(doc, 2);
+}
+
+Configuration configuration_from_json(const Template& tmpl,
+                                      const std::string& text) {
+  const json::Value doc = json::parse(text);
+  check_header(doc, "archex-configuration");
+  ARCHEX_REQUIRE(
+      doc.at("template_components").as_int() == tmpl.num_components(),
+      "configuration was saved against a different template (component "
+      "count mismatch)");
+  ARCHEX_REQUIRE(doc.at("template_candidate_edges").as_int() ==
+                     tmpl.num_candidate_edges(),
+                 "configuration was saved against a different template "
+                 "(candidate-edge count mismatch)");
+  std::vector<bool> selected(
+      static_cast<std::size_t>(tmpl.num_candidate_edges()), false);
+  for (const json::Value& entry : doc.at("selected_edges").as_array()) {
+    const int k = entry.as_int();
+    ARCHEX_REQUIRE(k >= 0 && k < tmpl.num_candidate_edges(),
+                   "selected edge index out of range");
+    selected[static_cast<std::size_t>(k)] = true;
+  }
+  return Configuration(tmpl, std::move(selected));
+}
+
+}  // namespace archex::core

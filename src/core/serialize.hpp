@@ -1,0 +1,46 @@
+// archex/core/serialize.hpp
+//
+// JSON serialization of templates and configurations, so architecture
+// libraries and synthesis results can be stored, versioned and exchanged
+// (the paper's ARCHEX prototype kept these in MATLAB structs).
+//
+// Template document shape:
+// {
+//   "format": "archex-template", "version": 1,
+//   "components": [ {"name": "...", "type": 0, "cost": 7000,
+//                    "failure_prob": 2e-4, "power_supply": 70,
+//                    "power_demand": 0}, ... ],
+//   "candidate_edges": [ {"from": 0, "to": 5, "switch_cost": 1000}, ... ]
+// }
+//
+// Configuration document shape:
+// {
+//   "format": "archex-configuration", "version": 1,
+//   "template_components": <count, consistency check>,
+//   "selected_edges": [indices of selected candidate edges]
+// }
+#pragma once
+
+#include <string>
+
+#include "core/arch_template.hpp"
+#include "core/configuration.hpp"
+
+namespace archex::core {
+
+/// Serialize a template (pretty-printed JSON).
+[[nodiscard]] std::string to_json(const Template& tmpl);
+
+/// Parse a template document; throws json::JsonError / PreconditionError on
+/// malformed or semantically invalid input.
+[[nodiscard]] Template template_from_json(const std::string& text);
+
+/// Serialize a configuration (selected edge indices only; pair it with its
+/// template document).
+[[nodiscard]] std::string to_json(const Configuration& config);
+
+/// Parse a configuration document against its template.
+[[nodiscard]] Configuration configuration_from_json(const Template& tmpl,
+                                                    const std::string& text);
+
+}  // namespace archex::core

@@ -1,0 +1,27 @@
+// archex/core/synthesis_status.hpp
+//
+// Shared outcome vocabulary of the two synthesis algorithms.
+#pragma once
+
+#include <string>
+
+namespace archex::core {
+
+enum class SynthesisStatus {
+  kSuccess,         // an optimal, requirement-satisfying architecture found
+  kUnfeasible,      // the template cannot satisfy the requirements
+  kIterationLimit,  // ILP-MR ran out of iterations
+  kSolverFailure,   // the ILP engine hit a node/time limit or numeric issue
+};
+
+[[nodiscard]] inline std::string to_string(SynthesisStatus status) {
+  switch (status) {
+    case SynthesisStatus::kSuccess: return "success";
+    case SynthesisStatus::kUnfeasible: return "UNFEASIBLE";
+    case SynthesisStatus::kIterationLimit: return "iteration-limit";
+    case SynthesisStatus::kSolverFailure: return "solver-failure";
+  }
+  return "unknown";
+}
+
+}  // namespace archex::core

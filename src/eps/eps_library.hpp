@@ -1,0 +1,78 @@
+// archex/eps/eps_library.hpp
+//
+// The aircraft electric-power-system component library of Table I:
+//
+//   | Generators g(kW): LG1 70, LG2 50, RG1 80, RG2 30, APU 100 |
+//   | Loads     l(kW): LL1 30, LL2 10, RL1 10, RL2 20           |
+//   | Costs: generator g/10 (g in W, i.e. 100/kW), bus 2000,     |
+//   |        rectifier 2000, contactor 1000                      |
+//
+// Generators, buses and rectifiers fail with probability 2e-4; loads and
+// contactors are assumed perfectly reliable (as in the paper's examples).
+//
+// Two attributes are not in Table I and are our documented modeling
+// additions for the eq.-(4) balance rules (see DESIGN.md): a rectifier
+// draws `rectifier_draw_kw` from its AC bus and can deliver
+// `rectifier_capacity_kw` to its DC bus.
+#pragma once
+
+#include <string>
+
+#include "core/arch_template.hpp"
+
+namespace archex::eps {
+
+/// Component types of the EPS template, ordered source -> sink as the
+/// paper's partition requires (Π_1 = generators, Π_n = loads).
+enum EpsType : graph::TypeId {
+  kGenerator = 0,
+  kAcBus = 1,
+  kRectifier = 2,
+  kDcBus = 3,
+  kLoad = 4,
+};
+inline constexpr int kNumEpsTypes = 5;
+
+struct EpsLibrary {
+  /// c = g/10 with g in watts == 100 per kW (Table I).
+  double generator_cost_per_kw = 100.0;
+  double bus_cost = 2000.0;
+  double rectifier_cost = 2000.0;
+  double contactor_cost = 1000.0;
+
+  /// Failure probability of generators, buses and rectifiers.
+  double component_failure = 2e-4;
+
+  /// Power a rectifier can deliver to DC buses (modeling addition).
+  double rectifier_capacity_kw = 100.0;
+  /// Power a rectifier draws from its AC bus (modeling addition).
+  double rectifier_draw_kw = 40.0;
+
+  [[nodiscard]] core::Component generator(std::string name,
+                                          double rating_kw) const {
+    return {std::move(name), kGenerator, generator_cost_per_kw * rating_kw,
+            component_failure,
+            /*power_supply=*/rating_kw, /*power_demand=*/0.0};
+  }
+
+  [[nodiscard]] core::Component ac_bus(std::string name) const {
+    // Buses relay power; they neither add supply in eq. (4) nor draw any.
+    return {std::move(name), kAcBus, bus_cost, component_failure, 0.0, 0.0};
+  }
+
+  [[nodiscard]] core::Component rectifier(std::string name) const {
+    return {std::move(name), kRectifier, rectifier_cost, component_failure,
+            rectifier_capacity_kw, rectifier_draw_kw};
+  }
+
+  [[nodiscard]] core::Component dc_bus(std::string name) const {
+    return {std::move(name), kDcBus, bus_cost, component_failure, 0.0, 0.0};
+  }
+
+  [[nodiscard]] core::Component load(std::string name,
+                                     double demand_kw) const {
+    return {std::move(name), kLoad, 0.0, 0.0, 0.0, demand_kw};
+  }
+};
+
+}  // namespace archex::eps

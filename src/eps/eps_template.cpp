@@ -1,0 +1,142 @@
+#include "eps/eps_template.hpp"
+
+#include <array>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace archex::eps {
+
+namespace {
+
+using graph::NodeId;
+
+constexpr std::array<double, 4> kGeneratorRatingsKw = {70.0, 50.0, 80.0, 30.0};
+constexpr std::array<double, 4> kLoadDemandsKw = {30.0, 10.0, 10.0, 20.0};
+
+std::string side_name(const char* prefix, int index, int total) {
+  // First half is the left side, second half the right, as in Fig. 1c.
+  const bool left = index < (total + 1) / 2;
+  const int ordinal = left ? index + 1 : index - (total + 1) / 2 + 1;
+  return std::string(left ? "L" : "R") + prefix + std::to_string(ordinal);
+}
+
+}  // namespace
+
+EpsTemplate make_eps_template(const EpsSpec& spec) {
+  ARCHEX_REQUIRE(spec.num_generators >= 1, "need at least one generator");
+  const EpsLibrary& lib = spec.library;
+  EpsTemplate eps;
+  core::Template& t = eps.tmpl;
+  const int n = spec.num_generators;
+
+  for (int i = 0; i < n; ++i) {
+    eps.generators.push_back(t.add_component(lib.generator(
+        side_name("G", i, n),
+        kGeneratorRatingsKw[static_cast<std::size_t>(i) %
+                            kGeneratorRatingsKw.size()])));
+  }
+  if (spec.include_apu) {
+    eps.apu = t.add_component(lib.generator("APU", 100.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    eps.ac_buses.push_back(
+        t.add_component(lib.ac_bus(side_name("B", i, n))));
+  }
+  for (int i = 0; i < n; ++i) {
+    eps.rectifiers.push_back(
+        t.add_component(lib.rectifier(side_name("R", i, n))));
+  }
+  for (int i = 0; i < n; ++i) {
+    eps.dc_buses.push_back(
+        t.add_component(lib.dc_bus(side_name("D", i, n))));
+  }
+  for (int i = 0; i < n; ++i) {
+    eps.loads.push_back(t.add_component(lib.load(
+        side_name("L", i, n), kLoadDemandsKw[static_cast<std::size_t>(i) %
+                                             kLoadDemandsKw.size()])));
+  }
+
+  // Candidate edges (contactor-switched interconnections).
+  const double c = lib.contactor_cost;
+  for (NodeId g : eps.sources()) {
+    for (NodeId b : eps.ac_buses) t.add_candidate_edge(g, b, c);
+  }
+  for (std::size_t i = 0; i + 1 < eps.ac_buses.size(); ++i) {
+    // Same-type tie, declared in both directions so walk-based redundancy
+    // counting is symmetric; the pair shares one contactor cost in eq. (1).
+    t.add_candidate_edge(eps.ac_buses[i], eps.ac_buses[i + 1], c);
+    t.add_candidate_edge(eps.ac_buses[i + 1], eps.ac_buses[i], c);
+  }
+  for (NodeId b : eps.ac_buses) {
+    for (NodeId r : eps.rectifiers) t.add_candidate_edge(b, r, c);
+  }
+  for (NodeId r : eps.rectifiers) {
+    for (NodeId d : eps.dc_buses) t.add_candidate_edge(r, d, c);
+  }
+  for (std::size_t i = 0; i + 1 < eps.dc_buses.size(); ++i) {
+    t.add_candidate_edge(eps.dc_buses[i], eps.dc_buses[i + 1], c);  // tie
+    t.add_candidate_edge(eps.dc_buses[i + 1], eps.dc_buses[i], c);
+  }
+  for (NodeId d : eps.dc_buses) {
+    for (NodeId l : eps.loads) t.add_candidate_edge(d, l, c);
+  }
+  return eps;
+}
+
+void apply_eps_requirements(core::ArchitectureIlp& ilp,
+                            const EpsTemplate& eps) {
+  const std::vector<NodeId> sources = eps.sources();
+
+  // Every load is fed by exactly one DC bus (loads mount on one bus; DC-tie
+  // redundancy provides the alternative feed).
+  for (NodeId l : eps.loads) {
+    ilp.add_in_degree_rule(l, eps.dc_buses, 1, 1);
+  }
+
+  // A rectifier is fed by at most one AC bus (Section V); if it feeds any
+  // DC bus it needs that feed (eq. 3 mirrored through the same rows).
+  for (NodeId r : eps.rectifiers) {
+    ilp.add_in_degree_rule(r, eps.ac_buses, 0, 1);
+    ilp.add_conditional_predecessor_rule(eps.dc_buses, r, eps.ac_buses);
+  }
+
+  // A DC bus feeding a load or a tied DC bus is fed by >= 1 rectifier.
+  for (NodeId d : eps.dc_buses) {
+    std::vector<NodeId> triggers = eps.loads;
+    triggers.insert(triggers.end(), eps.dc_buses.begin(), eps.dc_buses.end());
+    ilp.add_conditional_predecessor_rule(triggers, d, eps.rectifiers);
+  }
+
+  // An AC bus feeding a rectifier or a tied AC bus is fed by >= 1 source
+  // directly (ties only add redundancy; they are never the sole supply).
+  for (NodeId b : eps.ac_buses) {
+    std::vector<NodeId> triggers = eps.rectifiers;
+    triggers.insert(triggers.end(), eps.ac_buses.begin(), eps.ac_buses.end());
+    ilp.add_conditional_predecessor_rule(triggers, b, sources);
+  }
+
+  // Generators feed at most one AC bus; the APU may back up two.
+  for (NodeId g : eps.generators) {
+    ilp.add_out_degree_rule(g, eps.ac_buses, 0, 1);
+  }
+  if (eps.apu >= 0) {
+    ilp.add_out_degree_rule(eps.apu, eps.ac_buses, 0, 2);
+  }
+
+  // eq. (4) balance: generation vs rectifier draw at AC buses, rectifier
+  // capacity vs load demand at DC buses.
+  for (NodeId b : eps.ac_buses) ilp.add_balance_rule(b);
+  for (NodeId d : eps.dc_buses) ilp.add_balance_rule(d);
+
+  // Instantiated sources must jointly cover the total load demand.
+  ilp.add_global_power_adequacy();
+}
+
+core::ArchitectureIlp make_eps_ilp(const EpsTemplate& eps) {
+  core::ArchitectureIlp ilp(eps.tmpl);
+  apply_eps_requirements(ilp, eps);
+  return ilp;
+}
+
+}  // namespace archex::eps

@@ -1,0 +1,76 @@
+// archex/eps/eps_template.hpp
+//
+// Procedural generator for the aircraft EPS architecture templates of
+// Section V. The base template ("two of each type per side, one APU") has
+// 21 nodes; the scalability study of Tables II/III grows it to
+// |V| ≈ 20, 30, 40, 50 with 4, 6, 8, 10 generators.
+//
+// Candidate interconnections (the composition rules of the EPS library):
+//   generator -> any AC bus        (switched by contactors)
+//   APU       -> any AC bus
+//   AC bus    -- next AC bus       (same-type tie: redundancy shorthand)
+//   AC bus    -> any rectifier
+//   rectifier -> any DC bus
+//   DC bus    -- next DC bus       (same-type tie)
+//   DC bus    -> any load
+#pragma once
+
+#include <vector>
+
+#include "core/arch_ilp.hpp"
+#include "core/arch_template.hpp"
+#include "eps/eps_library.hpp"
+
+namespace archex::eps {
+
+struct EpsSpec {
+  /// Main generators, split half-and-half between left and right; ratings
+  /// cycle through Table I's {70, 50, 80, 30} kW.
+  int num_generators = 4;
+  /// One 100-kW auxiliary power unit connectable to every AC bus.
+  bool include_apu = true;
+  /// AC buses / rectifiers / DC buses / loads each scale with the
+  /// generator count; load demands cycle Table I's {30, 10, 10, 20} kW.
+  /// (|V| = 5 * num_generators + 1 with the APU.)
+  EpsLibrary library;
+};
+
+/// A generated template plus the node groups benchmarks and requirement
+/// builders address by role.
+struct EpsTemplate {
+  core::Template tmpl;
+  std::vector<graph::NodeId> generators;  // main generators (no APU)
+  graph::NodeId apu = -1;                 // -1 when absent
+  std::vector<graph::NodeId> ac_buses;
+  std::vector<graph::NodeId> rectifiers;
+  std::vector<graph::NodeId> dc_buses;
+  std::vector<graph::NodeId> loads;
+
+  /// All power sources: generators plus APU.
+  [[nodiscard]] std::vector<graph::NodeId> sources() const {
+    std::vector<graph::NodeId> out = generators;
+    if (apu >= 0) out.push_back(apu);
+    return out;
+  }
+};
+
+/// Build the template for `spec`.
+[[nodiscard]] EpsTemplate make_eps_template(const EpsSpec& spec);
+
+/// Install the Section-V interconnection and power-flow requirements on a
+/// fresh base ILP over the template:
+///  * every load is fed by exactly one DC bus;
+///  * a rectifier feeding a DC bus is fed by exactly one AC bus (eq. 2);
+///  * a DC bus feeding a load or a tied DC bus has >= 1 rectifier (eq. 3);
+///  * an AC bus feeding a rectifier or a tied AC bus has >= 1 source (eq. 3);
+///  * generators feed at most one AC bus, the APU at most two;
+///  * eq.-(4) balance at every AC bus (generation vs rectifier draw) and
+///    DC bus (rectifier capacity vs load demand);
+///  * global power adequacy over instantiated sources.
+void apply_eps_requirements(core::ArchitectureIlp& ilp,
+                            const EpsTemplate& eps);
+
+/// Convenience: template + base ILP with all EPS requirements installed.
+[[nodiscard]] core::ArchitectureIlp make_eps_ilp(const EpsTemplate& eps);
+
+}  // namespace archex::eps

@@ -1,0 +1,69 @@
+#include "eps/operating_modes.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace archex::eps {
+
+void apply_operating_modes(core::ArchitectureIlp& ilp,
+                           const EpsTemplate& eps,
+                           const std::vector<OperatingMode>& modes) {
+  const std::vector<graph::NodeId> sources = eps.sources();
+  for (const OperatingMode& mode : modes) {
+    ARCHEX_REQUIRE(mode.load_demand_kw.size() == eps.loads.size(),
+                   "mode demand profile must cover every load");
+    ARCHEX_REQUIRE(mode.source_available.size() == sources.size(),
+                   "mode availability mask must cover every source");
+    double demand = 0.0;
+    for (double d : mode.load_demand_kw) {
+      ARCHEX_REQUIRE(d >= 0.0, "load demand must be non-negative");
+      demand += d;
+    }
+    ilp::LinExpr supply;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (!mode.source_available[i]) continue;
+      supply.add_term(
+          ilp.node_active(sources[i]),
+          eps.tmpl.component(sources[i]).power_supply);
+    }
+    ilp.model().add_row(std::move(supply) >= demand,
+                        "adequacy_" + mode.name);
+  }
+}
+
+std::vector<OperatingMode> standard_flight_modes(const EpsTemplate& eps) {
+  const std::vector<graph::NodeId> sources = eps.sources();
+
+  std::vector<double> nominal;
+  nominal.reserve(eps.loads.size());
+  for (const graph::NodeId l : eps.loads) {
+    nominal.push_back(eps.tmpl.component(l).power_demand);
+  }
+
+  OperatingMode cruise{"cruise", nominal,
+                       std::vector<bool>(sources.size(), true)};
+
+  OperatingMode takeoff{"takeoff", nominal,
+                        std::vector<bool>(sources.size(), true)};
+  for (double& d : takeoff.load_demand_kw) d *= 1.3;
+
+  OperatingMode engine_out{"engine_out", nominal,
+                           std::vector<bool>(sources.size(), true)};
+  // Lose the largest *main* generator; the APU (last source when present)
+  // remains available as the backup it exists for.
+  std::size_t worst = 0;
+  double worst_supply = -1.0;
+  for (std::size_t i = 0; i < eps.generators.size(); ++i) {
+    const double s = eps.tmpl.component(eps.generators[i]).power_supply;
+    if (s > worst_supply) {
+      worst_supply = s;
+      worst = i;
+    }
+  }
+  engine_out.source_available[worst] = false;
+
+  return {std::move(cruise), std::move(takeoff), std::move(engine_out)};
+}
+
+}  // namespace archex::eps

@@ -1,0 +1,45 @@
+// archex/eps/operating_modes.hpp
+//
+// Operating-condition power requirements. Section V of the paper requires
+// that "the total power provided by the generators in each operating
+// condition is greater than or equal to the total power required by the
+// connected loads" — this module makes the operating conditions explicit:
+// per mode, a demand profile over the loads and an availability mask over
+// the sources (e.g. an engine-out mode loses a main generator). The
+// synthesized architecture is static; a mode only changes which sources
+// can produce and how much the loads draw, so each mode contributes its
+// own adequacy row over the instantiation variables δ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arch_ilp.hpp"
+#include "eps/eps_template.hpp"
+
+namespace archex::eps {
+
+struct OperatingMode {
+  std::string name;
+  /// Demand (kW) per load, index-aligned with EpsTemplate::loads.
+  std::vector<double> load_demand_kw;
+  /// Availability per source, index-aligned with EpsTemplate::sources()
+  /// (main generators first, APU last when present).
+  std::vector<bool> source_available;
+};
+
+/// Add one global power-adequacy row per mode:
+///   Σ_{available sources s} supply_s * δ_s  >=  Σ_l demand_l(mode).
+void apply_operating_modes(core::ArchitectureIlp& ilp,
+                           const EpsTemplate& eps,
+                           const std::vector<OperatingMode>& modes);
+
+/// A standard civil-aircraft mode set for the given template:
+///  * "cruise"     — nominal demands (Table I values), all sources online;
+///  * "takeoff"    — 130% demands, all sources online;
+///  * "engine-out" — nominal demands with the largest main generator lost
+///                   (the APU, when present, stays available).
+[[nodiscard]] std::vector<OperatingMode> standard_flight_modes(
+    const EpsTemplate& eps);
+
+}  // namespace archex::eps

@@ -1,0 +1,110 @@
+// archex/graph/bool_matrix.hpp
+//
+// Dense square Boolean matrices with the logical product of Lemma 1:
+//   (a ⊙ b)_ij = OR_k (a_ik AND b_kj)
+// and the derived walk-indicator matrix
+//   η_n = OR_{k=1..n} e^k,
+// whose (i, j) entry is 1 iff a directed walk of length <= n leads from
+// v_i to v_j. ILP-MR's AddPath (eq. 6) and ILP-AR's connectivity counting
+// (eq. 11) both evaluate η on *fixed* architectures through this type; the
+// decision-variable counterpart lives in core/reach_encoder.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/check.hpp"
+
+namespace archex::graph {
+
+class BoolMatrix {
+ public:
+  /// n x n matrix of zeros.
+  explicit BoolMatrix(int n) : n_(n) {
+    ARCHEX_REQUIRE(n >= 0, "matrix dimension must be non-negative");
+    bits_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 false);
+  }
+
+  /// Adjacency matrix of a digraph.
+  static BoolMatrix adjacency(const Digraph& g) {
+    BoolMatrix m(g.num_nodes());
+    for (const auto& [u, v] : g.edges()) m.set(u, v, true);
+    return m;
+  }
+
+  [[nodiscard]] int dim() const { return n_; }
+
+  [[nodiscard]] bool get(int i, int j) const {
+    check(i);
+    check(j);
+    return bits_[cell(i, j)];
+  }
+
+  void set(int i, int j, bool value) {
+    check(i);
+    check(j);
+    bits_[cell(i, j)] = value;
+  }
+
+  /// Logical (Boolean) matrix product a ⊙ b.
+  friend BoolMatrix logical_product(const BoolMatrix& a, const BoolMatrix& b) {
+    ARCHEX_REQUIRE(a.n_ == b.n_, "dimension mismatch in logical product");
+    BoolMatrix out(a.n_);
+    for (int i = 0; i < a.n_; ++i) {
+      for (int k = 0; k < a.n_; ++k) {
+        if (!a.get(i, k)) continue;
+        for (int j = 0; j < a.n_; ++j) {
+          if (b.get(k, j)) out.set(i, j, true);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Elementwise OR.
+  friend BoolMatrix logical_or(const BoolMatrix& a, const BoolMatrix& b) {
+    ARCHEX_REQUIRE(a.n_ == b.n_, "dimension mismatch in logical OR");
+    BoolMatrix out(a.n_);
+    for (std::size_t c = 0; c < a.bits_.size(); ++c) {
+      out.bits_[c] = a.bits_[c] || b.bits_[c];
+    }
+    return out;
+  }
+
+  friend bool operator==(const BoolMatrix& a, const BoolMatrix& b) {
+    return a.n_ == b.n_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  void check(int i) const {
+    ARCHEX_REQUIRE(i >= 0 && i < n_, "matrix index out of range");
+  }
+  [[nodiscard]] std::size_t cell(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int n_ = 0;
+  std::vector<bool> bits_;
+};
+
+/// Walk-indicator matrix η_n = OR_{k=1..n} e^k (Lemma 1). η_n(i, j) == 1 iff
+/// a directed walk of length in [1, n] exists from v_i to v_j.
+[[nodiscard]] inline BoolMatrix walk_indicator(const BoolMatrix& e, int n) {
+  ARCHEX_REQUIRE(n >= 1, "walk length bound must be at least 1");
+  BoolMatrix eta = e;        // η_1 = e
+  BoolMatrix power = e;      // e^k
+  for (int k = 2; k <= n; ++k) {
+    power = logical_product(power, e);
+    eta = logical_or(eta, power);
+  }
+  return eta;
+}
+
+/// Convenience overload building the adjacency matrix internally.
+[[nodiscard]] inline BoolMatrix walk_indicator(const Digraph& g, int n) {
+  return walk_indicator(BoolMatrix::adjacency(g), n);
+}
+
+}  // namespace archex::graph

@@ -1,0 +1,49 @@
+#include "graph/digraph.hpp"
+
+#include <deque>
+
+namespace archex::graph {
+
+namespace {
+
+std::vector<bool> bfs(const Digraph& g, NodeId start, bool forward) {
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::deque<NodeId> queue{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const auto& next = forward ? g.successors(u) : g.predecessors(u);
+    for (NodeId v : next) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> Digraph::reachable_from(NodeId start) const {
+  check_node(start);
+  return bfs(*this, start, /*forward=*/true);
+}
+
+std::vector<bool> Digraph::reaching(NodeId target) const {
+  check_node(target);
+  return bfs(*this, target, /*forward=*/false);
+}
+
+bool Digraph::connects(const std::vector<NodeId>& sources,
+                       NodeId target) const {
+  const std::vector<bool> up = reaching(target);
+  for (NodeId s : sources) {
+    check_node(s);
+    if (up[static_cast<std::size_t>(s)]) return true;
+  }
+  return false;
+}
+
+}  // namespace archex::graph

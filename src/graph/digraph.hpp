@@ -1,0 +1,98 @@
+// archex/graph/digraph.hpp
+//
+// Directed graph over a fixed node set, the structural backbone of an
+// architecture (Definition II.1 of the paper: nodes are components, edges
+// are interconnections). Stored as forward/backward adjacency lists plus a
+// constant-time edge-presence matrix.
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace archex::graph {
+
+/// Node index within a graph; dense in [0, num_nodes).
+using NodeId = int;
+
+class Digraph {
+ public:
+  /// Create a graph with `num_nodes` nodes and no edges.
+  explicit Digraph(int num_nodes) : n_(num_nodes) {
+    ARCHEX_REQUIRE(num_nodes >= 0, "node count must be non-negative");
+    succ_.resize(static_cast<std::size_t>(num_nodes));
+    pred_.resize(static_cast<std::size_t>(num_nodes));
+    has_.assign(static_cast<std::size_t>(num_nodes) *
+                    static_cast<std::size_t>(num_nodes),
+                false);
+  }
+
+  [[nodiscard]] int num_nodes() const { return n_; }
+  [[nodiscard]] int num_edges() const { return edges_; }
+
+  /// Add edge u -> v. Self-loops and duplicates are rejected (the paper
+  /// assumes e_ii = 0 and Boolean edge variables).
+  void add_edge(NodeId u, NodeId v) {
+    check_node(u);
+    check_node(v);
+    ARCHEX_REQUIRE(u != v, "self-loops are not allowed (e_ii = 0)");
+    ARCHEX_REQUIRE(!has_edge(u, v), "duplicate edge");
+    succ_[static_cast<std::size_t>(u)].push_back(v);
+    pred_[static_cast<std::size_t>(v)].push_back(u);
+    has_[cell(u, v)] = true;
+    ++edges_;
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    check_node(u);
+    check_node(v);
+    return has_[cell(u, v)];
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId u) const {
+    check_node(u);
+    return succ_[static_cast<std::size_t>(u)];
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId v) const {
+    check_node(v);
+    return pred_[static_cast<std::size_t>(v)];
+  }
+
+  /// All edges as (u, v) pairs, in insertion order per source node.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const {
+    std::vector<std::pair<NodeId, NodeId>> out;
+    out.reserve(static_cast<std::size_t>(edges_));
+    for (NodeId u = 0; u < n_; ++u) {
+      for (NodeId v : succ_[static_cast<std::size_t>(u)]) out.push_back({u, v});
+    }
+    return out;
+  }
+
+  /// Nodes reachable from `start` (including `start`) by directed walks.
+  [[nodiscard]] std::vector<bool> reachable_from(NodeId start) const;
+
+  /// Nodes that can reach `target` (including `target`).
+  [[nodiscard]] std::vector<bool> reaching(NodeId target) const;
+
+  /// True if any node of `sources` reaches `target` through the graph.
+  [[nodiscard]] bool connects(const std::vector<NodeId>& sources,
+                              NodeId target) const;
+
+ private:
+  void check_node(NodeId v) const {
+    ARCHEX_REQUIRE(v >= 0 && v < n_, "node index out of range");
+  }
+  [[nodiscard]] std::size_t cell(NodeId u, NodeId v) const {
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v);
+  }
+
+  int n_ = 0;
+  int edges_ = 0;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::vector<bool> has_;
+};
+
+}  // namespace archex::graph

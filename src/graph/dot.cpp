@@ -1,0 +1,70 @@
+#include "graph/dot.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace archex::graph {
+
+namespace {
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+    "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+};
+
+}  // namespace
+
+std::string to_dot(const Digraph& g, const Partition& partition,
+                   const DotStyle& style) {
+  ARCHEX_REQUIRE(partition.num_nodes() == g.num_nodes(),
+                 "partition does not cover the graph");
+  std::ostringstream os;
+  os << "digraph architecture {\n";
+  if (!style.title.empty()) {
+    os << "  label=\"" << style.title << "\";\n  labelloc=t;\n";
+  }
+  os << "  rankdir=LR;\n  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+
+  auto node_label = [&](NodeId v) -> std::string {
+    const auto idx = static_cast<std::size_t>(v);
+    if (idx < style.node_labels.size() && !style.node_labels[idx].empty()) {
+      return style.node_labels[idx];
+    }
+    return "v" + std::to_string(v);
+  };
+  auto type_label = [&](TypeId t) -> std::string {
+    const auto idx = static_cast<std::size_t>(t);
+    if (idx < style.type_labels.size() && !style.type_labels[idx].empty()) {
+      return style.type_labels[idx];
+    }
+    return "type " + std::to_string(t);
+  };
+
+  for (TypeId t = 0; t < partition.num_types(); ++t) {
+    if (style.rank_by_type) {
+      os << "  subgraph cluster_t" << t << " {\n"
+         << "    label=\"" << type_label(t) << "\";\n"
+         << "    style=dashed;\n";
+    }
+    for (NodeId v : partition.members(t)) {
+      os << (style.rank_by_type ? "    " : "  ") << 'n' << v << " [label=\""
+         << node_label(v) << "\", fillcolor=\""
+         << kPalette[static_cast<std::size_t>(t) % kPalette.size()]
+         << "\"];\n";
+    }
+    if (style.rank_by_type) os << "  }\n";
+  }
+
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -> n" << v;
+    if (partition.same_type(u, v)) os << " [style=dashed, dir=both]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace archex::graph

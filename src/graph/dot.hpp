@@ -1,0 +1,31 @@
+// archex/graph/dot.hpp
+//
+// Graphviz DOT export for architectures: nodes grouped and colored by type,
+// so synthesized EPS single-line diagrams can be inspected visually (the
+// counterpart of Figs. 2 and 3 in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/partition.hpp"
+
+namespace archex::graph {
+
+struct DotStyle {
+  /// Label per node; defaults to "v<i>" when empty.
+  std::vector<std::string> node_labels;
+  /// Label per type (cluster caption); defaults to "type <t>" when empty.
+  std::vector<std::string> type_labels;
+  /// Graph title.
+  std::string title;
+  /// Rank types left-to-right (sources first), matching single-line diagrams.
+  bool rank_by_type = true;
+};
+
+/// Render `g` with its `partition` to DOT text.
+[[nodiscard]] std::string to_dot(const Digraph& g, const Partition& partition,
+                                 const DotStyle& style = {});
+
+}  // namespace archex::graph

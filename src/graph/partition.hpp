@@ -1,0 +1,68 @@
+// archex/graph/partition.hpp
+//
+// Node partition Π = {Π_1, ..., Π_n} assigning each component a *type*
+// (Definition II.2). Types capture interchangeable roles — two nodes of the
+// same type introduce redundancy. By the paper's convention, Π_1 holds the
+// sources and Π_n the sinks of every functional link.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/check.hpp"
+
+namespace archex::graph {
+
+/// Type index within a partition; dense in [0, num_types).
+using TypeId = int;
+
+class Partition {
+ public:
+  /// Build from a per-node type assignment; every type in
+  /// [0, max assignment] must be non-empty (a partition has no empty sets).
+  explicit Partition(std::vector<TypeId> type_of_node)
+      : type_of_(std::move(type_of_node)) {
+    int max_type = -1;
+    for (TypeId t : type_of_) {
+      ARCHEX_REQUIRE(t >= 0, "type ids must be non-negative");
+      max_type = std::max(max_type, t);
+    }
+    groups_.resize(static_cast<std::size_t>(max_type + 1));
+    for (std::size_t v = 0; v < type_of_.size(); ++v) {
+      groups_[static_cast<std::size_t>(type_of_[v])].push_back(
+          static_cast<NodeId>(v));
+    }
+    for (std::size_t t = 0; t < groups_.size(); ++t) {
+      ARCHEX_REQUIRE(!groups_[t].empty(),
+                     "partition subsets must be non-empty");
+    }
+  }
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(type_of_.size());
+  }
+  [[nodiscard]] int num_types() const { return static_cast<int>(groups_.size()); }
+
+  [[nodiscard]] TypeId type_of(NodeId v) const {
+    ARCHEX_REQUIRE(v >= 0 && v < num_nodes(), "node index out of range");
+    return type_of_[static_cast<std::size_t>(v)];
+  }
+
+  /// Nodes of type t (the set Π_{t+1} in the paper's 1-based notation).
+  [[nodiscard]] const std::vector<NodeId>& members(TypeId t) const {
+    ARCHEX_REQUIRE(t >= 0 && t < num_types(), "type index out of range");
+    return groups_[static_cast<std::size_t>(t)];
+  }
+
+  /// a ~ b: same type.
+  [[nodiscard]] bool same_type(NodeId a, NodeId b) const {
+    return type_of(a) == type_of(b);
+  }
+
+ private:
+  std::vector<TypeId> type_of_;
+  std::vector<std::vector<NodeId>> groups_;
+};
+
+}  // namespace archex::graph

@@ -1,0 +1,50 @@
+// archex/graph/paths.hpp
+//
+// Path machinery for functional links (Section II): enumeration of simple
+// paths from the source set to a sink, path reduction (collapsing adjacent
+// same-type nodes), and expansion of the same-type-edge shorthand the EPS
+// templates use for redundant components (Section V).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/partition.hpp"
+
+namespace archex::graph {
+
+/// A path as its node sequence (front = source, back = sink).
+using Path = std::vector<NodeId>;
+
+/// Enumerate all simple (node-distinct) paths from any node in `sources` to
+/// `sink`, by depth-first search. `max_paths` guards against the exponential
+/// worst case; exceeding it throws archex::Error so callers cannot silently
+/// compute reliability on a truncated path set.
+[[nodiscard]] std::vector<Path> enumerate_simple_paths(
+    const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
+    std::size_t max_paths = 1u << 20);
+
+/// The functional link F_sink: every simple path from the source type's
+/// members (Π_1, type id 0) to `sink`.
+[[nodiscard]] std::vector<Path> functional_link(const Digraph& g,
+                                                const Partition& partition,
+                                                NodeId sink,
+                                                std::size_t max_paths = 1u
+                                                                        << 20);
+
+/// Reduced path μ̂: adjacent nodes of the same type collapse onto the first
+/// of the run (Section IV-A). Non-adjacent repeats of a type remain.
+[[nodiscard]] Path reduce_path(const Path& path, const Partition& partition);
+
+/// Deduplicated reduced paths of a functional link.
+[[nodiscard]] std::vector<Path> reduced_paths(const std::vector<Path>& paths,
+                                              const Partition& partition);
+
+/// Expand the same-type-edge shorthand of Section V: an edge between nodes
+/// of the same type declares them redundant — the group shares all external
+/// predecessors and successors, and the intra-group edges disappear.
+/// Returns a new graph over the same node set.
+[[nodiscard]] Digraph expand_same_type_shorthand(const Digraph& g,
+                                                 const Partition& partition);
+
+}  // namespace archex::graph

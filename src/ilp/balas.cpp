@@ -1,0 +1,203 @@
+// Balas-style implicit enumeration for pure-binary models.
+//
+// No LP relaxation is solved. The search fixes variables 0/1 depth-first and
+// prunes with two classic tests:
+//  * cost bound — fixed cost plus the sum of negative free costs cannot
+//    already reach the incumbent;
+//  * row intervals — for every row, the best-case achievable activity given
+//    the fixed variables must intersect [lo, up].
+// Serves as the LP-free ablation baseline (bench_solver_ablation): on the
+// loosely-constrained architecture-synthesis models its bound is much weaker
+// than the LP relaxation, which is exactly the point of the comparison.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "ilp/solver.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace archex::ilp {
+
+namespace {
+
+class BalasSearch {
+ public:
+  BalasSearch(const Model& model, const BalasOptions& options)
+      : model_(model), opt_(options) {
+    ARCHEX_REQUIRE(model.pure_binary(),
+                   "BalasSolver handles pure-binary models only");
+    n_ = model.num_variables();
+    build_tables();
+  }
+
+  IlpResult run() {
+    watch_.start();
+    value_.assign(static_cast<std::size_t>(n_), 0);
+    fixed_.assign(static_cast<std::size_t>(n_), false);
+    dive(0, 0.0);
+
+    IlpResult out;
+    out.nodes_explored = nodes_;
+    out.solve_seconds = watch_.elapsed_seconds();
+    if (have_incumbent_) {
+      out.status = aborted_ ? abort_status_ : IlpStatus::kOptimal;
+      out.objective = incumbent_obj_ + model_.objective_constant();
+      out.x.assign(incumbent_.begin(), incumbent_.end());
+    } else {
+      out.status = aborted_ ? abort_status_ : IlpStatus::kInfeasible;
+    }
+    return out;
+  }
+
+ private:
+  void build_tables() {
+    cost_.assign(static_cast<std::size_t>(n_), 0.0);
+    for (const lp::Term& t : model_.objective().terms()) {
+      cost_[static_cast<std::size_t>(t.var)] += t.coef;
+    }
+
+    // Static variable order: largest absolute cost first, so that the cost
+    // bound bites early; ties by index for determinism.
+    order_.resize(static_cast<std::size_t>(n_));
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      return std::abs(cost_[static_cast<std::size_t>(a)]) >
+             std::abs(cost_[static_cast<std::size_t>(b)]);
+    });
+
+    // Row tables: per-row term list and the running achievable interval.
+    const int m = model_.num_rows();
+    row_lo_.resize(static_cast<std::size_t>(m));
+    row_up_.resize(static_cast<std::size_t>(m));
+    row_min_.assign(static_cast<std::size_t>(m), 0.0);
+    row_max_.assign(static_cast<std::size_t>(m), 0.0);
+    var_rows_.assign(static_cast<std::size_t>(n_), {});
+    for (int i = 0; i < m; ++i) {
+      const auto& row = model_.row(i);
+      row_lo_[static_cast<std::size_t>(i)] = row.lo;
+      row_up_[static_cast<std::size_t>(i)] = row.up;
+      for (const lp::Term& t : row.expr.terms()) {
+        var_rows_[static_cast<std::size_t>(t.var)].push_back({i, t.coef});
+        if (t.coef > 0.0) row_max_[static_cast<std::size_t>(i)] += t.coef;
+        else row_min_[static_cast<std::size_t>(i)] += t.coef;
+      }
+    }
+
+    // Suffix sums of negative costs in search order: the best possible
+    // objective improvement obtainable from the still-free variables.
+    neg_suffix_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
+    for (int pos = n_ - 1; pos >= 0; --pos) {
+      const double c = cost_[static_cast<std::size_t>(order_[static_cast<std::size_t>(pos)])];
+      neg_suffix_[static_cast<std::size_t>(pos)] =
+          neg_suffix_[static_cast<std::size_t>(pos) + 1] + std::min(0.0, c);
+    }
+  }
+
+  void dive(int pos, double fixed_cost) {
+    if (aborted_) return;
+    if (nodes_ >= opt_.max_nodes) {
+      aborted_ = true;
+      abort_status_ = IlpStatus::kNodeLimit;
+      return;
+    }
+    if ((nodes_ & 0x3ff) == 0 &&
+        watch_.elapsed_seconds() > opt_.time_limit_seconds) {
+      aborted_ = true;
+      abort_status_ = IlpStatus::kTimeLimit;
+      return;
+    }
+    ++nodes_;
+
+    // Cost bound.
+    const double bound = fixed_cost + neg_suffix_[static_cast<std::size_t>(pos)];
+    if (have_incumbent_ && bound >= incumbent_obj_ - 1e-9) return;
+
+    // Row interval test.
+    for (std::size_t i = 0; i < row_min_.size(); ++i) {
+      if (row_max_[i] < row_lo_[i] - 1e-9 || row_min_[i] > row_up_[i] + 1e-9) {
+        return;
+      }
+    }
+
+    if (pos == n_) {
+      // Every variable fixed: row intervals are tight, so feasibility holds.
+      incumbent_.assign(value_.begin(), value_.end());
+      incumbent_obj_ = fixed_cost;
+      have_incumbent_ = true;
+      return;
+    }
+
+    const int j = order_[static_cast<std::size_t>(pos)];
+    const double c = cost_[static_cast<std::size_t>(j)];
+    // Try the cheaper value first.
+    const int first = (c >= 0.0) ? 0 : 1;
+    for (int side = 0; side < 2; ++side) {
+      const int v = (side == 0) ? first : 1 - first;
+      assign(j, v);
+      dive(pos + 1, fixed_cost + (v ? c : 0.0));
+      unassign(j, v);
+      if (aborted_) return;
+    }
+  }
+
+  /// Fix variable j to v: collapse its contribution in every row interval.
+  void assign(int j, int v) {
+    value_[static_cast<std::size_t>(j)] = static_cast<signed char>(v);
+    for (const auto& [row, coef] : var_rows_[static_cast<std::size_t>(j)]) {
+      const auto r = static_cast<std::size_t>(row);
+      if (coef > 0.0) {
+        if (v == 1) row_min_[r] += coef;   // contribution now mandatory
+        else row_max_[r] -= coef;          // contribution now impossible
+      } else {
+        if (v == 1) row_max_[r] += coef;
+        else row_min_[r] -= coef;
+      }
+    }
+  }
+
+  void unassign(int j, int v) {
+    for (const auto& [row, coef] : var_rows_[static_cast<std::size_t>(j)]) {
+      const auto r = static_cast<std::size_t>(row);
+      if (coef > 0.0) {
+        if (v == 1) row_min_[r] -= coef;
+        else row_max_[r] += coef;
+      } else {
+        if (v == 1) row_max_[r] -= coef;
+        else row_min_[r] += coef;
+      }
+    }
+  }
+
+  const Model& model_;
+  BalasOptions opt_;
+  int n_ = 0;
+
+  std::vector<double> cost_;
+  std::vector<int> order_;
+  std::vector<double> neg_suffix_;
+
+  std::vector<double> row_lo_, row_up_, row_min_, row_max_;
+  std::vector<std::vector<std::pair<int, double>>> var_rows_;
+
+  std::vector<signed char> value_;
+  std::vector<bool> fixed_;
+  std::vector<signed char> incumbent_;
+  double incumbent_obj_ = 0.0;
+  bool have_incumbent_ = false;
+
+  bool aborted_ = false;
+  IlpStatus abort_status_ = IlpStatus::kNumericFailure;
+  long nodes_ = 0;
+  Stopwatch watch_;
+};
+
+}  // namespace
+
+IlpResult BalasSolver::solve(const Model& model) {
+  BalasSearch search(model, options_);
+  return search.run();
+}
+
+}  // namespace archex::ilp

@@ -1,0 +1,240 @@
+// LP-relaxation branch & bound for 0/1 mixed-integer programs.
+//
+// Depth-first search with best-incumbent pruning. At each node the LP
+// relaxation (bounded-variable simplex, archex::lp) is solved with the
+// branching decisions imposed as variable-bound changes; fractional integral
+// variables trigger a two-way branch ordered toward the LP value's rounding
+// direction, which tends to find feasible architectures early on the
+// synthesis models produced by ILP-MR / ILP-AR.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ilp/solver.hpp"
+#include "lp/engine.hpp"
+#include "lp/simplex.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace archex::ilp {
+
+std::string to_string(IlpStatus status) {
+  switch (status) {
+    case IlpStatus::kOptimal: return "optimal";
+    case IlpStatus::kInfeasible: return "infeasible";
+    case IlpStatus::kNodeLimit: return "node-limit";
+    case IlpStatus::kTimeLimit: return "time-limit";
+    case IlpStatus::kNumericFailure: return "numeric-failure";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Search {
+ public:
+  Search(const Model& model, const BranchAndBoundOptions& options)
+      : model_(model),
+        opt_(options),
+        lp_(model.to_lp()),
+        engine_(lp_, lp::SimplexOptions{}) {
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.is_integral(Var{j})) integral_.push_back(j);
+    }
+    objective_integral_ = detect_integral_objective();
+  }
+
+  IlpResult run() {
+    watch_.start();
+    IlpResult out;
+
+    dive();
+
+    out.nodes_explored = nodes_;
+    out.lp_pivots = lp_pivots_;
+    out.lp_scratch_solves = engine_.stats().scratch_solves;
+    out.lp_dual_reopts = engine_.stats().dual_reopts;
+    out.lp_dual_fallbacks = engine_.stats().dual_fallbacks;
+    out.lp_dual_limit = engine_.stats().dual_limit;
+    out.lp_dual_numeric = engine_.stats().dual_numeric;
+    out.lp_restore_fallbacks = engine_.stats().restore_fallbacks;
+    out.solve_seconds = watch_.elapsed_seconds();
+    if (have_incumbent_) {
+      // A limit may have stopped the proof of optimality, but an incumbent
+      // still exists; report it together with the limit status.
+      out.status = aborted_ ? abort_status_ : IlpStatus::kOptimal;
+      out.objective = incumbent_obj_ + model_.objective_constant();
+      out.x = incumbent_;
+    } else {
+      out.status = aborted_ ? abort_status_ : IlpStatus::kInfeasible;
+    }
+    return out;
+  }
+
+ private:
+  void abort_with(IlpStatus status) {
+    aborted_ = true;
+    abort_status_ = status;
+  }
+
+  /// Recursive DFS node. Bound changes are applied/undone around recursion.
+  void dive() {
+    if (aborted_) return;
+    if (nodes_ >= opt_.max_nodes) {
+      abort_with(IlpStatus::kNodeLimit);
+      return;
+    }
+    if (watch_.elapsed_seconds() > opt_.time_limit_seconds) {
+      abort_with(IlpStatus::kTimeLimit);
+      return;
+    }
+    ++nodes_;
+
+    // Warm start: the parent's optimal basis stays dual feasible after the
+    // branching bound change, so this is a short dual-simplex run (with an
+    // automatic scratch-solve fallback inside the engine).
+    const lp::Solution rel =
+        nodes_ == 1 ? engine_.solve_from_scratch() : engine_.reoptimize();
+    lp_pivots_ += rel.iterations;
+
+    if (rel.status == lp::SolveStatus::kInfeasible) return;
+    if (rel.status != lp::SolveStatus::kOptimal) {
+      // Unbounded relaxations cannot occur on our bounded models; iteration
+      // limits and numeric failures abort the search conservatively.
+      abort_with(IlpStatus::kNumericFailure);
+      return;
+    }
+
+    // The engine's anti-degeneracy perturbation can inflate the reported
+    // bound by at most bound_slack(); subtract it so pruning stays safe.
+    if (have_incumbent_ &&
+        rel.objective - engine_.bound_slack() >= prune_threshold()) {
+      return;
+    }
+
+    const int frac = pick_branch_variable(rel.x);
+    if (frac < 0) {
+      // Integral solution: snap and record.
+      std::vector<double> x = rel.x;
+      for (int j : integral_) {
+        x[static_cast<std::size_t>(j)] =
+            std::round(x[static_cast<std::size_t>(j)]);
+      }
+      const double obj = model_.eval_objective(x) - model_.objective_constant();
+      if (!have_incumbent_ || obj < incumbent_obj_ - 1e-9) {
+        ARCHEX_ASSERT(model_.is_feasible(x, 1e-5),
+                      "rounded LP-integral point violates the model");
+        incumbent_ = std::move(x);
+        incumbent_obj_ = obj;
+        have_incumbent_ = true;
+      }
+      return;
+    }
+
+    if (nodes_ == 1 && opt_.root_rounding_heuristic) try_rounding(rel.x);
+
+    const auto jf = static_cast<std::size_t>(frac);
+    const double value = rel.x[jf];
+    const double saved_lo = engine_.col_lo(frac);
+    const double saved_up = engine_.col_up(frac);
+    const double floor_v = std::floor(value);
+    const double ceil_v = floor_v + 1.0;
+
+    // Explore the rounding direction first.
+    const bool down_first = (value - floor_v) <= 0.5;
+    for (int side = 0; side < 2; ++side) {
+      const bool down = (side == 0) == down_first;
+      if (down) {
+        if (floor_v < saved_lo) continue;
+        engine_.set_variable_bounds(frac, saved_lo, floor_v);
+      } else {
+        if (ceil_v > saved_up) continue;
+        engine_.set_variable_bounds(frac, ceil_v, saved_up);
+      }
+      dive();
+      engine_.set_variable_bounds(frac, saved_lo, saved_up);
+      if (aborted_) return;
+    }
+  }
+
+  /// Fractional integral variable of the highest branching priority (most
+  /// fractional within the class), or -1 when integral within tolerance.
+  int pick_branch_variable(const std::vector<double>& x) const {
+    int best = -1;
+    int best_priority = std::numeric_limits<int>::min();
+    double best_score = 0.0;
+    for (int j : integral_) {
+      const double v = x[static_cast<std::size_t>(j)];
+      const double score = std::min(v - std::floor(v), std::ceil(v) - v);
+      if (score <= opt_.int_tol) continue;
+      const int priority = model_.branch_priority(Var{j});
+      if (priority > best_priority ||
+          (priority == best_priority && score > best_score)) {
+        best_priority = priority;
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  /// Cheap root heuristic: round every integral variable to the nearest
+  /// integer and accept the point if it happens to be feasible.
+  void try_rounding(const std::vector<double>& x_rel) {
+    std::vector<double> x = x_rel;
+    for (int j : integral_) {
+      x[static_cast<std::size_t>(j)] =
+          std::round(x[static_cast<std::size_t>(j)]);
+    }
+    if (model_.is_feasible(x)) {
+      const double obj = model_.eval_objective(x) - model_.objective_constant();
+      if (!have_incumbent_ || obj < incumbent_obj_) {
+        incumbent_ = std::move(x);
+        incumbent_obj_ = obj;
+        have_incumbent_ = true;
+      }
+    }
+  }
+
+  /// Prune nodes whose LP bound cannot beat the incumbent. With an
+  /// all-integer objective the next-better value is at least 1 lower.
+  double prune_threshold() const {
+    if (objective_integral_) return incumbent_obj_ - 1.0 + 1e-6;
+    return incumbent_obj_ - 1e-9;
+  }
+
+  bool detect_integral_objective() const {
+    for (const lp::Term& t : model_.objective().terms()) {
+      if (!model_.is_integral(Var{t.var})) return false;
+      if (std::abs(t.coef - std::round(t.coef)) > 1e-12) return false;
+    }
+    return true;
+  }
+
+  const Model& model_;
+  BranchAndBoundOptions opt_;
+  lp::Problem lp_;
+  lp::SimplexEngine engine_;
+  std::vector<int> integral_;
+  bool objective_integral_ = false;
+
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = 0.0;
+  bool have_incumbent_ = false;
+
+  bool aborted_ = false;
+  IlpStatus abort_status_ = IlpStatus::kNumericFailure;
+  long nodes_ = 0;
+  long lp_pivots_ = 0;
+  Stopwatch watch_;
+};
+
+}  // namespace
+
+IlpResult BranchAndBoundSolver::solve(const Model& model) {
+  Search search(model, options_);
+  return search.run();
+}
+
+}  // namespace archex::ilp

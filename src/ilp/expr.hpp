@@ -1,0 +1,100 @@
+// archex/ilp/expr.hpp
+//
+// A small linear-expression DSL over model variables, so constraint builders
+// read close to the paper's notation, e.g.
+//
+//   LinExpr degree;
+//   for (Var e : incident_edges) degree += e;
+//   model.add_row(degree >= 1);           // eq. (2): at least one connection
+//
+// Expressions are affine: sum of (coefficient * variable) terms plus a
+// constant. Comparisons produce RowSpec objects consumed by Model::add_row.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace archex::ilp {
+
+/// Strongly-typed handle to a model variable.
+struct Var {
+  int id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+  friend bool operator==(Var a, Var b) { return a.id == b.id; }
+};
+
+/// Affine expression: sum_i coef_i * var_i + constant.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { terms_.push_back({v.id, 1.0}); }
+
+  LinExpr& operator+=(const LinExpr& other) {
+    terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+    constant_ += other.constant_;
+    return *this;
+  }
+  LinExpr& operator-=(const LinExpr& other) {
+    for (const auto& t : other.terms_) terms_.push_back({t.var, -t.coef});
+    constant_ -= other.constant_;
+    return *this;
+  }
+  LinExpr& operator*=(double scale) {
+    for (auto& t : terms_) t.coef *= scale;
+    constant_ *= scale;
+    return *this;
+  }
+
+  void add_term(Var v, double coef) {
+    if (coef != 0.0) terms_.push_back({v.id, coef});
+  }
+
+  [[nodiscard]] const std::vector<lp::Term>& terms() const { return terms_; }
+  [[nodiscard]] double constant() const { return constant_; }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<lp::Term> terms_;
+  double constant_ = 0.0;
+};
+
+inline LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+inline LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+inline LinExpr operator*(double scale, LinExpr e) { return e *= scale; }
+inline LinExpr operator*(LinExpr e, double scale) { return e *= scale; }
+inline LinExpr operator*(double scale, Var v) {
+  LinExpr e;
+  e.add_term(v, scale);
+  return e;
+}
+inline LinExpr operator-(LinExpr e) { return e *= -1.0; }
+
+/// A constraint specification `lo <= expr <= up` awaiting insertion.
+struct RowSpec {
+  LinExpr expr;
+  double lo = -lp::kInf;
+  double up = lp::kInf;
+};
+
+inline RowSpec operator<=(LinExpr expr, double rhs) {
+  return {std::move(expr), -lp::kInf, rhs};
+}
+inline RowSpec operator>=(LinExpr expr, double rhs) {
+  return {std::move(expr), rhs, lp::kInf};
+}
+inline RowSpec operator==(LinExpr expr, double rhs) {
+  return {std::move(expr), rhs, rhs};
+}
+inline RowSpec operator<=(LinExpr lhs, const LinExpr& rhs) {
+  return {std::move(lhs -= rhs), -lp::kInf, 0.0};
+}
+inline RowSpec operator>=(LinExpr lhs, const LinExpr& rhs) {
+  return {std::move(lhs -= rhs), 0.0, lp::kInf};
+}
+inline RowSpec operator==(LinExpr lhs, const LinExpr& rhs) {
+  return {std::move(lhs -= rhs), 0.0, 0.0};
+}
+
+}  // namespace archex::ilp

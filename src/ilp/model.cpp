@@ -1,0 +1,221 @@
+#include "ilp/model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace archex::ilp {
+
+Var Model::add_var(VarKind kind, double lo, double up, std::string name) {
+  ARCHEX_REQUIRE(lo <= up, "variable bounds must satisfy lo <= up");
+  kind_.push_back(kind);
+  lo_.push_back(lo);
+  up_.push_back(up);
+  priority_.push_back(0);
+  name_.push_back(std::move(name));
+  return Var{static_cast<int>(kind_.size()) - 1};
+}
+
+Var Model::add_binary(std::string name) {
+  return add_var(VarKind::kBinary, 0.0, 1.0, std::move(name));
+}
+
+Var Model::add_integer(double lo, double up, std::string name) {
+  ARCHEX_REQUIRE(std::floor(lo) == lo && std::floor(up) == up,
+                 "integer variable bounds must be integral");
+  return add_var(VarKind::kInteger, lo, up, std::move(name));
+}
+
+Var Model::add_continuous(double lo, double up, std::string name) {
+  return add_var(VarKind::kContinuous, lo, up, std::move(name));
+}
+
+void Model::fix(Var v, double value) {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  const auto j = static_cast<std::size_t>(v.id);
+  ARCHEX_REQUIRE(kind_[j] == VarKind::kContinuous ||
+                     std::floor(value) == value,
+                 "cannot fix an integral variable to a fractional value");
+  lo_[j] = value;
+  up_[j] = value;
+}
+
+void Model::set_branch_priority(Var v, int priority) {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  priority_[static_cast<std::size_t>(v.id)] = priority;
+}
+
+int Model::branch_priority(Var v) const {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  return priority_[static_cast<std::size_t>(v.id)];
+}
+
+int Model::add_row(RowSpec spec, std::string name) {
+  for (const lp::Term& t : spec.expr.terms()) {
+    ARCHEX_REQUIRE(t.var >= 0 && t.var < num_variables(),
+                   "row references unknown variable");
+  }
+  const double c = spec.expr.constant();
+  StoredRow row{std::move(spec.expr),
+                spec.lo == -lp::kInf ? -lp::kInf : spec.lo - c,
+                spec.up == lp::kInf ? lp::kInf : spec.up - c,
+                std::move(name)};
+  ARCHEX_REQUIRE(row.lo <= row.up, "row bounds must satisfy lo <= up");
+  rows_.push_back(std::move(row));
+  return num_rows() - 1;
+}
+
+Var Model::add_or(const std::vector<Var>& xs, std::string name) {
+  ARCHEX_REQUIRE(!xs.empty(), "add_or needs at least one operand");
+  const Var y = add_binary(name.empty() ? std::string{} : name);
+  LinExpr sum;
+  for (Var x : xs) {
+    ARCHEX_REQUIRE(kind(x) == VarKind::kBinary, "add_or operands must be binary");
+    // y >= x  <=>  y - x >= 0
+    add_row(LinExpr(y) - LinExpr(x) >= 0.0, name + "/ge");
+    sum += x;
+  }
+  // y <= sum(xs)
+  add_row(LinExpr(y) - sum <= 0.0, name + "/le");
+  return y;
+}
+
+Var Model::add_and(const std::vector<Var>& xs, std::string name) {
+  ARCHEX_REQUIRE(!xs.empty(), "add_and needs at least one operand");
+  const Var y = add_binary(name.empty() ? std::string{} : name);
+  LinExpr sum;
+  for (Var x : xs) {
+    ARCHEX_REQUIRE(kind(x) == VarKind::kBinary,
+                   "add_and operands must be binary");
+    add_row(LinExpr(y) - LinExpr(x) <= 0.0, name + "/le");
+    sum += x;
+  }
+  // y >= sum(xs) - (|xs| - 1)
+  add_row(LinExpr(y) - sum >= 1.0 - static_cast<double>(xs.size()),
+          name + "/ge");
+  return y;
+}
+
+void Model::add_implication(Var x, const RowSpec& spec, std::string name) {
+  ARCHEX_REQUIRE(kind(x) == VarKind::kBinary,
+                 "implication guard must be binary");
+  const auto [amin, amax] = activity_range(spec.expr);
+  if (spec.up != lp::kInf) {
+    // expr <= up + (amax - up) * (1 - x)
+    const double big_m = amax - spec.up;
+    if (big_m > 0.0) {
+      LinExpr e = spec.expr;
+      e.add_term(x, big_m);
+      add_row(std::move(e) <= spec.up + big_m, name + "/ub");
+    }
+  }
+  if (spec.lo != -lp::kInf) {
+    // expr >= lo - (lo - amin) * (1 - x)
+    const double big_m = spec.lo - amin;
+    if (big_m > 0.0) {
+      LinExpr e = spec.expr;
+      e.add_term(x, -big_m);
+      add_row(std::move(e) >= spec.lo - big_m, name + "/lb");
+    }
+  }
+}
+
+void Model::add_leq(Var a, Var b, std::string name) {
+  add_row(LinExpr(a) - LinExpr(b) <= 0.0, std::move(name));
+}
+
+void Model::set_objective(const LinExpr& objective) {
+  for (const lp::Term& t : objective.terms()) {
+    ARCHEX_REQUIRE(t.var >= 0 && t.var < num_variables(),
+                   "objective references unknown variable");
+  }
+  objective_ = objective;
+}
+
+VarKind Model::kind(Var v) const {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  return kind_[static_cast<std::size_t>(v.id)];
+}
+
+double Model::lower_bound(Var v) const {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  return lo_[static_cast<std::size_t>(v.id)];
+}
+
+double Model::upper_bound(Var v) const {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  return up_[static_cast<std::size_t>(v.id)];
+}
+
+const std::string& Model::name(Var v) const {
+  ARCHEX_REQUIRE(v.id >= 0 && v.id < num_variables(), "unknown variable");
+  return name_[static_cast<std::size_t>(v.id)];
+}
+
+bool Model::pure_binary() const {
+  for (VarKind k : kind_) {
+    if (k != VarKind::kBinary) return false;
+  }
+  return true;
+}
+
+std::pair<double, double> Model::activity_range(const LinExpr& expr) const {
+  double amin = expr.constant();
+  double amax = expr.constant();
+  for (const lp::Term& t : expr.terms()) {
+    const auto j = static_cast<std::size_t>(t.var);
+    const double a = t.coef * lo_[j];
+    const double b = t.coef * up_[j];
+    amin += std::min(a, b);
+    amax += std::max(a, b);
+  }
+  ARCHEX_REQUIRE(std::isfinite(amin) && std::isfinite(amax),
+                 "activity_range requires finite variable bounds");
+  return {amin, amax};
+}
+
+lp::Problem Model::to_lp() const {
+  lp::Problem lp;
+  for (int j = 0; j < num_variables(); ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    lp.add_variable(lo_[js], up_[js], 0.0, name_[js]);
+  }
+  for (const lp::Term& t : objective_.terms()) {
+    lp.set_objective(t.var, lp.objective_coef(t.var) + t.coef);
+  }
+  for (const StoredRow& row : rows_) {
+    lp.add_constraint(row.expr.terms(), row.lo, row.up, row.name);
+  }
+  return lp;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_variables()) return false;
+  for (int j = 0; j < num_variables(); ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (x[js] < lo_[js] - tol || x[js] > up_[js] + tol) return false;
+    if (kind_[js] != VarKind::kContinuous &&
+        std::abs(x[js] - std::round(x[js])) > tol) {
+      return false;
+    }
+  }
+  for (const StoredRow& row : rows_) {
+    double activity = 0.0;
+    for (const lp::Term& t : row.expr.terms()) {
+      activity += t.coef * x[static_cast<std::size_t>(t.var)];
+    }
+    if (activity < row.lo - tol || activity > row.up + tol) return false;
+  }
+  return true;
+}
+
+double Model::eval_objective(const std::vector<double>& x) const {
+  double total = objective_.constant();
+  for (const lp::Term& t : objective_.terms()) {
+    total += t.coef * x[static_cast<std::size_t>(t.var)];
+  }
+  return total;
+}
+
+}  // namespace archex::ilp

@@ -1,0 +1,132 @@
+// archex/ilp/model.hpp
+//
+// Mixed 0/1 integer-linear-program model builder. Plays the role YALMIP
+// played in the paper's ARCHEX prototype: symbolic constraints (including
+// Boolean conjunction/disjunction/implication) are linearized into rows by
+// the standard transformations of Winston [6] and handed to a solver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ilp/expr.hpp"
+#include "lp/problem.hpp"
+
+namespace archex::ilp {
+
+enum class VarKind : unsigned char { kContinuous, kBinary, kInteger };
+
+/// A mixed-integer linear model under construction.
+class Model {
+ public:
+  // ---- variables ----------------------------------------------------------
+
+  /// Add a 0/1 decision variable.
+  Var add_binary(std::string name = {});
+
+  /// Add a bounded general-integer variable.
+  Var add_integer(double lo, double up, std::string name = {});
+
+  /// Add a bounded continuous variable.
+  Var add_continuous(double lo, double up, std::string name = {});
+
+  /// Pin a variable to a constant (used to fix decisions externally).
+  void fix(Var v, double value);
+
+  /// Branching priority (default 0). Branch-and-bound prefers fractional
+  /// variables of the highest priority class; set structural decision
+  /// variables above derived indicator variables — the indicators are
+  /// functionally determined once the structure is integral, which shrinks
+  /// the search tree dramatically on the synthesis models.
+  void set_branch_priority(Var v, int priority);
+  [[nodiscard]] int branch_priority(Var v) const;
+
+  // ---- rows ----------------------------------------------------------------
+
+  /// Add `spec.lo <= spec.expr <= spec.up`; the expression's constant is
+  /// folded into the bounds. Returns the row index.
+  int add_row(RowSpec spec, std::string name = {});
+
+  // ---- Boolean linearizations (Winston [6]) --------------------------------
+
+  /// Create y with y = OR(xs): y >= x_i for each i and y <= sum(xs).
+  /// All xs must be binary.
+  Var add_or(const std::vector<Var>& xs, std::string name = {});
+
+  /// Create y with y = AND(xs): y <= x_i for each i and
+  /// y >= sum(xs) - (|xs| - 1).
+  Var add_and(const std::vector<Var>& xs, std::string name = {});
+
+  /// Enforce x = 1  =>  lo <= expr <= up using automatically derived big-M
+  /// values (requires every variable in expr to have finite bounds).
+  void add_implication(Var x, const RowSpec& spec, std::string name = {});
+
+  /// Enforce a <= b for binaries (i.e., a = 1 implies b = 1), eq. (3) shape.
+  void add_leq(Var a, Var b, std::string name = {});
+
+  // ---- objective ------------------------------------------------------------
+
+  /// Set the (minimization) objective. The expression's constant is kept and
+  /// reported in solution objectives.
+  void set_objective(const LinExpr& objective);
+
+  [[nodiscard]] const LinExpr& objective() const { return objective_; }
+  [[nodiscard]] double objective_constant() const {
+    return objective_.constant();
+  }
+
+  // ---- introspection --------------------------------------------------------
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(kind_.size());
+  }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] VarKind kind(Var v) const;
+  [[nodiscard]] bool is_integral(Var v) const {
+    return kind(v) != VarKind::kContinuous;
+  }
+  [[nodiscard]] double lower_bound(Var v) const;
+  [[nodiscard]] double upper_bound(Var v) const;
+  [[nodiscard]] const std::string& name(Var v) const;
+
+  /// True when every variable is binary (required by the Balas solver).
+  [[nodiscard]] bool pure_binary() const;
+
+  /// Worst-case [min, max] value of `expr` over the variable boxes.
+  /// Used to derive big-M constants; throws if a needed bound is infinite.
+  [[nodiscard]] std::pair<double, double> activity_range(
+      const LinExpr& expr) const;
+
+  /// Lower the model to a continuous LP relaxation (integrality dropped).
+  [[nodiscard]] lp::Problem to_lp() const;
+
+  /// Check an assignment against all rows, bounds and integrality.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-6) const;
+
+  /// Evaluate the objective (including its constant) at an assignment.
+  [[nodiscard]] double eval_objective(const std::vector<double>& x) const;
+
+  // Row accessors used by solvers that do not go through the LP relaxation.
+  struct StoredRow {
+    LinExpr expr;  // constant already folded into lo/up
+    double lo;
+    double up;
+    std::string name;
+  };
+  [[nodiscard]] const StoredRow& row(int i) const {
+    return rows_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  Var add_var(VarKind kind, double lo, double up, std::string name);
+
+  std::vector<VarKind> kind_;
+  std::vector<double> lo_, up_;
+  std::vector<int> priority_;
+  std::vector<std::string> name_;
+  std::vector<StoredRow> rows_;
+  LinExpr objective_;
+};
+
+}  // namespace archex::ilp

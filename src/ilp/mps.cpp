@@ -1,0 +1,153 @@
+#include "ilp/mps.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "support/strings.hpp"
+
+namespace archex::ilp {
+
+namespace {
+
+/// MPS-safe, unique variable/row names: sanitized original name (when one
+/// exists) suffixed with the index to guarantee uniqueness.
+std::string col_name(const Model& model, int j) {
+  const std::string& given = model.name(Var{j});
+  if (given.empty()) return "x" + std::to_string(j);
+  return sanitize_identifier(given) + "_" + std::to_string(j);
+}
+
+std::string row_name(const Model& model, int i) {
+  const std::string& given = model.row(i).name;
+  if (given.empty()) return "r" + std::to_string(i);
+  return sanitize_identifier(given) + "_" + std::to_string(i);
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_mps(const Model& model, const std::string& name) {
+  std::ostringstream os;
+  os << "NAME " << sanitize_identifier(name) << "\n";
+
+  // ROWS: objective plus one record per constraint. Two-sided rows are
+  // written with their upper sense and completed in RANGES.
+  os << "ROWS\n N COST\n";
+  std::vector<char> sense(static_cast<std::size_t>(model.num_rows()), 'E');
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const auto& row = model.row(i);
+    char s = 'E';
+    if (row.lo == row.up) s = 'E';
+    else if (row.lo == -lp::kInf) s = 'L';
+    else if (row.up == lp::kInf) s = 'G';
+    else s = 'L';  // range row: L with a RANGES record
+    sense[static_cast<std::size_t>(i)] = s;
+    os << ' ' << s << ' ' << row_name(model, i) << "\n";
+  }
+
+  // COLUMNS: objective coefficients, then per-row coefficients, grouped by
+  // column with integer markers.
+  std::vector<double> obj(static_cast<std::size_t>(model.num_variables()),
+                          0.0);
+  for (const lp::Term& t : model.objective().terms()) {
+    obj[static_cast<std::size_t>(t.var)] += t.coef;
+  }
+  // Column-wise view of the rows.
+  std::vector<std::vector<std::pair<int, double>>> cols(
+      static_cast<std::size_t>(model.num_variables()));
+  for (int i = 0; i < model.num_rows(); ++i) {
+    for (const lp::Term& t : model.row(i).expr.terms()) {
+      cols[static_cast<std::size_t>(t.var)].push_back({i, t.coef});
+    }
+  }
+
+  os << "COLUMNS\n";
+  bool in_int_block = false;
+  int marker = 0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const bool integral = model.is_integral(Var{j});
+    if (integral != in_int_block) {
+      os << "    MARKER" << marker++ << " 'MARKER' "
+         << (integral ? "'INTORG'" : "'INTEND'") << "\n";
+      in_int_block = integral;
+    }
+    const std::string cn = col_name(model, j);
+    if (obj[static_cast<std::size_t>(j)] != 0.0) {
+      os << "    " << cn << " COST " << num(obj[static_cast<std::size_t>(j)])
+         << "\n";
+    }
+    for (const auto& [row, coef] : cols[static_cast<std::size_t>(j)]) {
+      os << "    " << cn << ' ' << row_name(model, row) << ' ' << num(coef)
+         << "\n";
+    }
+  }
+  if (in_int_block) {
+    os << "    MARKER" << marker++ << " 'MARKER' 'INTEND'\n";
+  }
+
+  os << "RHS\n";
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const auto& row = model.row(i);
+    double rhs = 0.0;
+    switch (sense[static_cast<std::size_t>(i)]) {
+      case 'E': rhs = row.lo; break;
+      case 'L': rhs = row.up; break;
+      case 'G': rhs = row.lo; break;
+      default: break;
+    }
+    if (rhs != 0.0) {
+      os << "    RHS " << row_name(model, i) << ' ' << num(rhs) << "\n";
+    }
+  }
+
+  // RANGES for two-sided inequality rows (written as L rows above):
+  // range = up - lo.
+  bool ranges_header = false;
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const auto& row = model.row(i);
+    if (row.lo == row.up || row.lo == -lp::kInf || row.up == lp::kInf) {
+      continue;
+    }
+    if (!ranges_header) {
+      os << "RANGES\n";
+      ranges_header = true;
+    }
+    os << "    RNG " << row_name(model, i) << ' ' << num(row.up - row.lo)
+       << "\n";
+  }
+
+  os << "BOUNDS\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const std::string cn = col_name(model, j);
+    const double lo = model.lower_bound(Var{j});
+    const double up = model.upper_bound(Var{j});
+    if (model.kind(Var{j}) == VarKind::kBinary && lo == 0.0 && up == 1.0) {
+      os << " BV BND " << cn << "\n";
+      continue;
+    }
+    if (lo == up) {
+      os << " FX BND " << cn << ' ' << num(lo) << "\n";
+      continue;
+    }
+    if (lo == -lp::kInf) os << " MI BND " << cn << "\n";
+    else if (lo != 0.0) os << " LO BND " << cn << ' ' << num(lo) << "\n";
+    if (up == lp::kInf) {
+      if (lo == -lp::kInf) os << " PL BND " << cn << "\n";
+    } else {
+      os << " UP BND " << cn << ' ' << num(up) << "\n";
+    }
+  }
+
+  os << "ENDATA\n";
+  return os.str();
+}
+
+}  // namespace archex::ilp

@@ -1,0 +1,25 @@
+// archex/ilp/mps.hpp
+//
+// Export of an archex::ilp::Model to the (free-form) MPS interchange
+// format, so the synthesis ILPs can be inspected or solved with external
+// engines (CPLEX, Gurobi, CBC, SCIP, HiGHS...). This is the practical
+// escape hatch the substitution table in DESIGN.md promises: the bundled
+// branch & bound replaces CPLEX by default, but every model ARCHEX builds
+// can be handed to the real thing.
+//
+// Emitted sections: NAME, ROWS (N/L/G/E), COLUMNS (with INTORG/INTEND
+// marker pairs around integral variables), RHS, RANGES (for two-sided
+// rows), BOUNDS (UP/LO/FX/MI/PL/BV). Minimization objective named COST.
+#pragma once
+
+#include <string>
+
+#include "ilp/model.hpp"
+
+namespace archex::ilp {
+
+/// Render `model` as free-form MPS text. `name` becomes the NAME record.
+[[nodiscard]] std::string to_mps(const Model& model,
+                                 const std::string& name = "ARCHEX");
+
+}  // namespace archex::ilp

@@ -1,0 +1,115 @@
+// archex/ilp/solver.hpp
+//
+// Solver-agnostic interface for 0/1 mixed-integer programs. Both synthesis
+// algorithms in the paper (ILP-MR, Algorithm 1; ILP-AR, Algorithm 3) call
+// `SolveILP(Cost, Cons)` as a black box; this interface is that box.
+// Two implementations ship with the library:
+//  * BranchAndBoundSolver — LP-relaxation-based branch & bound (default);
+//  * BalasSolver          — LP-free implicit enumeration for pure-binary
+//                           models (ablation baseline, bench_solver_ablation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace archex::ilp {
+
+enum class IlpStatus {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,
+  kTimeLimit,
+  kNumericFailure,
+};
+
+[[nodiscard]] std::string to_string(IlpStatus status);
+
+/// Outcome of one ILP solve.
+struct IlpResult {
+  IlpStatus status = IlpStatus::kNumericFailure;
+  /// Objective value of the incumbent, including the model's constant term.
+  double objective = 0.0;
+  /// Incumbent assignment (size == model.num_variables()); integral entries
+  /// are exact integers.
+  std::vector<double> x;
+
+  // Search statistics.
+  long nodes_explored = 0;
+  long lp_pivots = 0;
+  long lp_scratch_solves = 0;   // LPs solved from scratch (cold)
+  long lp_dual_reopts = 0;      // LPs warm-started via dual simplex
+  long lp_dual_fallbacks = 0;   // warm starts that fell back to scratch
+  long lp_dual_limit = 0;       // ... of which: dual pivot cap
+  long lp_dual_numeric = 0;     // ... of which: numeric trouble
+  long lp_restore_fallbacks = 0;  // ... of which: dual feasibility lost
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] bool optimal() const { return status == IlpStatus::kOptimal; }
+  [[nodiscard]] bool value_bool(Var v) const {
+    return x[static_cast<std::size_t>(v.id)] > 0.5;
+  }
+  [[nodiscard]] double value(Var v) const {
+    return x[static_cast<std::size_t>(v.id)];
+  }
+};
+
+/// Abstract 0/1 MILP solver.
+class IlpSolver {
+ public:
+  virtual ~IlpSolver() = default;
+
+  /// Solve `model` to proven optimality (or report why not).
+  [[nodiscard]] virtual IlpResult solve(const Model& model) = 0;
+
+  /// Human-readable engine name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct BranchAndBoundOptions {
+  long max_nodes = 2'000'000;
+  double time_limit_seconds = 600.0;
+  /// Integrality tolerance on the LP relaxation values.
+  double int_tol = 1e-6;
+  /// Attempt a rounding heuristic at the root to seed the incumbent.
+  bool root_rounding_heuristic = true;
+};
+
+/// LP-based branch & bound (depth-first with best-bound pruning).
+class BranchAndBoundSolver final : public IlpSolver {
+ public:
+  explicit BranchAndBoundSolver(BranchAndBoundOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] IlpResult solve(const Model& model) override;
+  [[nodiscard]] std::string name() const override { return "branch-and-bound"; }
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+struct BalasOptions {
+  long max_nodes = 50'000'000;
+  double time_limit_seconds = 600.0;
+};
+
+/// Balas-style implicit enumeration for pure-binary models. No LP relaxation
+/// is solved; pruning uses per-row achievable-activity intervals and the
+/// additive cost bound. Exponential in the worst case — included as the
+/// ablation baseline contrasted with LP-based branch & bound.
+class BalasSolver final : public IlpSolver {
+ public:
+  explicit BalasSolver(BalasOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] IlpResult solve(const Model& model) override;
+  [[nodiscard]] std::string name() const override {
+    return "balas-implicit-enumeration";
+  }
+
+ private:
+  BalasOptions options_;
+};
+
+}  // namespace archex::ilp

@@ -1,0 +1,79 @@
+// archex/lp/engine.hpp
+//
+// Persistent simplex engine: the stateful core behind lp::solve(), exposed
+// so that branch & bound can warm-start. The key property it exploits: a
+// basis that is optimal for some bounds stays *dual feasible* after any
+// variable-bound change (reduced costs do not depend on bounds), so a few
+// dual-simplex pivots re-optimize a child node instead of a full two-phase
+// primal solve from scratch.
+//
+// Usage pattern (branch & bound):
+//   SimplexEngine engine(problem, options);
+//   Solution root = engine.solve_from_scratch();
+//   engine.set_variable_bounds(j, 1.0, 1.0);   // branch x_j = 1
+//   Solution child = engine.reoptimize();      // dual simplex, few pivots
+//   engine.set_variable_bounds(j, 0.0, 1.0);   // undo on backtrack
+//
+// reoptimize() falls back to solve_from_scratch() automatically when no
+// basis exists yet or the dual loop hits a limit or numeric trouble.
+#pragma once
+
+#include <memory>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace archex::lp {
+
+namespace detail {
+class EngineImpl;
+}
+
+class SimplexEngine {
+ public:
+  /// The engine snapshots the problem's structure; later bound changes go
+  /// through set_variable_bounds (the Problem object is not referenced
+  /// after construction).
+  explicit SimplexEngine(const Problem& problem,
+                         const SimplexOptions& options = {});
+  ~SimplexEngine();
+  SimplexEngine(SimplexEngine&&) noexcept;
+  SimplexEngine& operator=(SimplexEngine&&) noexcept;
+
+  /// Override the box of a structural variable.
+  void set_variable_bounds(int var, double lo, double up);
+
+  /// Current (possibly overridden) bounds of a structural variable.
+  [[nodiscard]] double col_lo(int var) const;
+  [[nodiscard]] double col_up(int var) const;
+
+  /// Full two-phase primal solve, discarding any existing basis.
+  [[nodiscard]] Solution solve_from_scratch();
+
+  /// Re-optimize from the last optimal basis with dual simplex; falls back
+  /// to a scratch solve when that is impossible or fails.
+  [[nodiscard]] Solution reoptimize();
+
+  /// Worst-case amount by which a reported "optimal" objective can exceed
+  /// the true LP optimum, due to the anti-degeneracy cost perturbation
+  /// (0 while the perturbation has not been activated). Branch & bound
+  /// subtracts this before pruning against the incumbent.
+  [[nodiscard]] double bound_slack() const;
+
+  /// Cumulative engine statistics (diagnosing warm-start effectiveness).
+  struct Stats {
+    long scratch_solves = 0;   // full two-phase primal runs
+    long dual_reopts = 0;      // successful dual-simplex re-optimizations
+    long dual_fallbacks = 0;   // reoptimize() calls that fell back to scratch
+    long dual_limit = 0;       // ... of which: dual pivot cap hit
+    long dual_numeric = 0;     // ... of which: numeric trouble
+    long restore_fallbacks = 0;  // ... of which: dual feasibility unrestorable
+    long total_pivots = 0;
+  };
+  [[nodiscard]] const Stats& stats() const;
+
+ private:
+  std::unique_ptr<detail::EngineImpl> impl_;
+};
+
+}  // namespace archex::lp

@@ -1,0 +1,24 @@
+#include "lp/problem.hpp"
+
+#include <algorithm>
+
+namespace archex::lp {
+
+std::vector<Term> Problem::merge_terms(std::vector<Term> terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  // Drop exact zeros produced by cancellation.
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+  return merged;
+}
+
+}  // namespace archex::lp

@@ -1,0 +1,160 @@
+// archex/lp/problem.hpp
+//
+// In-memory representation of a linear program in "range" form:
+//
+//   minimize    c' x
+//   subject to  row_lo <= A x <= row_up
+//               col_lo <=  x  <= col_up
+//
+// Every constraint is stored as a two-sided range; equalities set
+// row_lo == row_up and one-sided inequalities leave the other side infinite.
+// This uniform shape maps directly onto the bounded-variable simplex in
+// simplex.hpp, where each row receives one "logical" variable bounded by
+// [row_lo, row_up].
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace archex::lp {
+
+/// Positive infinity used for absent bounds.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One nonzero coefficient of a constraint row: `coef * x[var]`.
+struct Term {
+  int var = -1;
+  double coef = 0.0;
+};
+
+/// A linear program in range form. Rows and columns are identified by the
+/// dense indices returned from add_variable()/add_constraint().
+class Problem {
+ public:
+  /// Add a variable with bounds [lo, up] and objective coefficient `obj`.
+  /// Returns its index. `lo` may be -kInf and `up` may be +kInf.
+  int add_variable(double lo, double up, double obj = 0.0,
+                   std::string name = {}) {
+    ARCHEX_REQUIRE(lo <= up, "variable bounds must satisfy lo <= up");
+    col_lo_.push_back(lo);
+    col_up_.push_back(up);
+    obj_.push_back(obj);
+    col_name_.push_back(std::move(name));
+    return static_cast<int>(col_lo_.size()) - 1;
+  }
+
+  /// Overwrite the objective coefficient of an existing variable.
+  void set_objective(int var, double obj) {
+    ARCHEX_REQUIRE(var >= 0 && var < num_variables(), "variable out of range");
+    obj_[static_cast<std::size_t>(var)] = obj;
+  }
+
+  /// Tighten or relax the box of an existing variable (used by the
+  /// branch-and-bound solver to impose branching decisions).
+  void set_variable_bounds(int var, double lo, double up) {
+    ARCHEX_REQUIRE(var >= 0 && var < num_variables(), "variable out of range");
+    ARCHEX_REQUIRE(lo <= up, "variable bounds must satisfy lo <= up");
+    col_lo_[static_cast<std::size_t>(var)] = lo;
+    col_up_[static_cast<std::size_t>(var)] = up;
+  }
+
+  /// Add a constraint `lo <= sum(terms) <= up`. Terms referencing the same
+  /// variable more than once are merged. Returns the row index.
+  int add_constraint(std::vector<Term> terms, double lo, double up,
+                     std::string name = {}) {
+    ARCHEX_REQUIRE(lo <= up, "row bounds must satisfy lo <= up");
+    for (const Term& t : terms) {
+      ARCHEX_REQUIRE(t.var >= 0 && t.var < num_variables(),
+                     "constraint references unknown variable");
+    }
+    rows_.push_back(merge_terms(std::move(terms)));
+    row_lo_.push_back(lo);
+    row_up_.push_back(up);
+    row_name_.push_back(std::move(name));
+    return static_cast<int>(rows_.size()) - 1;
+  }
+
+  [[nodiscard]] int num_variables() const {
+    return static_cast<int>(col_lo_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(rows_.size());
+  }
+
+  [[nodiscard]] double col_lo(int j) const {
+    return col_lo_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] double col_up(int j) const {
+    return col_up_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] double objective_coef(int j) const {
+    return obj_[static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const std::string& col_name(int j) const {
+    return col_name_[static_cast<std::size_t>(j)];
+  }
+
+  [[nodiscard]] const std::vector<Term>& row(int i) const {
+    return rows_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] double row_lo(int i) const {
+    return row_lo_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] double row_up(int i) const {
+    return row_up_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::string& row_name(int i) const {
+    return row_name_[static_cast<std::size_t>(i)];
+  }
+
+  /// Evaluate the objective at a full assignment `x`.
+  [[nodiscard]] double eval_objective(const std::vector<double>& x) const {
+    ARCHEX_REQUIRE(static_cast<int>(x.size()) == num_variables(),
+                   "assignment size mismatch");
+    double total = 0.0;
+    for (std::size_t j = 0; j < obj_.size(); ++j) total += obj_[j] * x[j];
+    return total;
+  }
+
+  /// Evaluate the activity of row `i` at assignment `x`.
+  [[nodiscard]] double eval_row(int i, const std::vector<double>& x) const {
+    double total = 0.0;
+    for (const Term& t : row(i)) {
+      total += t.coef * x[static_cast<std::size_t>(t.var)];
+    }
+    return total;
+  }
+
+  /// True if `x` satisfies every row and column bound within `tol`.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-6) const {
+    if (static_cast<int>(x.size()) != num_variables()) return false;
+    for (int j = 0; j < num_variables(); ++j) {
+      const auto v = x[static_cast<std::size_t>(j)];
+      if (v < col_lo(j) - tol || v > col_up(j) + tol) return false;
+    }
+    for (int i = 0; i < num_constraints(); ++i) {
+      const double a = eval_row(i, x);
+      if (a < row_lo(i) - tol || a > row_up(i) + tol) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::vector<Term> merge_terms(std::vector<Term> terms);
+
+  std::vector<double> col_lo_;
+  std::vector<double> col_up_;
+  std::vector<double> obj_;
+  std::vector<std::string> col_name_;
+
+  std::vector<std::vector<Term>> rows_;
+  std::vector<double> row_lo_;
+  std::vector<double> row_up_;
+  std::vector<std::string> row_name_;
+};
+
+}  // namespace archex::lp

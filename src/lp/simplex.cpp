@@ -1,0 +1,27 @@
+// Thin wrapper: one-shot LP solves construct a SimplexEngine (engine.cpp)
+// and run a scratch solve. Callers that re-solve after bound changes (the
+// branch-and-bound MILP solver) hold a SimplexEngine directly and use its
+// dual-simplex reoptimize() path.
+#include "lp/simplex.hpp"
+
+#include "lp/engine.hpp"
+
+namespace archex::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNumericFailure: return "numeric-failure";
+  }
+  return "unknown";
+}
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  SimplexEngine engine(problem, options);
+  return engine.solve_from_scratch();
+}
+
+}  // namespace archex::lp

@@ -1,0 +1,73 @@
+// archex/lp/simplex.hpp
+//
+// Bounded-variable revised primal simplex with a two-phase start.
+//
+// This is the LP engine underneath the branch-and-bound MILP solver in
+// archex::ilp. The paper used CPLEX behind YALMIP; both ILP-MR and ILP-AR
+// treat the solver as a black box, so any sound LP/ILP engine preserves the
+// algorithms (see DESIGN.md, substitution table).
+//
+// Internals (see simplex.cpp for details):
+//  * each row `lo <= a'x <= up` becomes `a'x - s = 0` with a logical
+//    variable s bounded by [lo, up]; the initial basis is all logicals;
+//  * rows whose logical starts outside its bounds receive a phase-1
+//    artificial; phase 1 minimizes the artificial sum to zero;
+//  * the basis inverse is kept explicitly (dense) and refactorized
+//    periodically; pricing is Dantzig with a Bland fallback against cycling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace archex::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericFailure,
+};
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct SimplexOptions {
+  /// Hard cap on simplex pivots across both phases; <=0 picks an automatic
+  /// cap that scales with problem size.
+  long max_iterations = 0;
+  /// Feasibility / optimality tolerance.
+  double tol = 1e-9;
+  /// Rebuild the basis inverse from scratch every this many pivots. The
+  /// product-form update is O(m^2) while a refactorization is O(m^3), so
+  /// this is drift control only — keep it rare. Basic values are
+  /// recomputed (cheaply) every `recompute_every` pivots in between.
+  int refactor_every = 4096;
+  /// Recompute basic values from the nonbasic assignment this often, to
+  /// bound error accumulation between refactorizations.
+  int recompute_every = 256;
+  /// Number of consecutive non-improving pivots before switching to
+  /// Bland's anti-cycling rule.
+  int bland_after = 256;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericFailure;
+  /// Objective value (meaningful when status == kOptimal).
+  double objective = 0.0;
+  /// Values of the structural variables (size == problem.num_variables()).
+  std::vector<double> x;
+  /// Total simplex pivots performed.
+  long iterations = 0;
+  /// Pivots spent in phase 1 (feasibility restoration), when applicable.
+  long phase1_iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solve `problem` (minimization) with the bounded-variable simplex.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace archex::lp

@@ -1,0 +1,97 @@
+#include "rel/approx.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+namespace {
+
+using graph::Partition;
+using graph::Path;
+
+/// Types present on every path of the link (the set I = {j | Π_j ⊢ F}).
+std::vector<bool> joint_types(const std::vector<Path>& paths,
+                              const Partition& partition) {
+  const auto n_types = static_cast<std::size_t>(partition.num_types());
+  std::vector<bool> joint(n_types, !paths.empty());
+  for (const Path& path : paths) {
+    std::vector<bool> present(n_types, false);
+    for (graph::NodeId v : path) {
+      present[static_cast<std::size_t>(partition.type_of(v))] = true;
+    }
+    for (std::size_t t = 0; t < n_types; ++t) {
+      if (!present[t]) joint[t] = false;
+    }
+  }
+  return joint;
+}
+
+}  // namespace
+
+double theorem2_bound(const std::vector<Path>& paths,
+                      const Partition& partition) {
+  if (paths.empty()) return 0.0;
+  const std::vector<bool> joint = joint_types(paths, partition);
+  int m = 0;
+  for (bool b : joint) m += b;
+  double big_m = 1.0;
+  for (const Path& path : paths) big_m *= static_cast<double>(path.size());
+  return static_cast<double>(m) * static_cast<double>(paths.size()) / big_m;
+}
+
+ApproxResult approximate_failure(const graph::Digraph& g,
+                                 const Partition& partition,
+                                 graph::NodeId sink,
+                                 const std::vector<double>& p_type,
+                                 std::size_t max_paths) {
+  ARCHEX_REQUIRE(partition.num_nodes() == g.num_nodes(),
+                 "partition does not cover the graph");
+  ARCHEX_REQUIRE(static_cast<int>(p_type.size()) == partition.num_types(),
+                 "per-type failure probabilities must cover every type");
+  for (double v : p_type) {
+    ARCHEX_REQUIRE(v >= 0.0 && v <= 1.0,
+                   "failure probabilities must lie in [0, 1]");
+  }
+
+  const auto raw = graph::functional_link(g, partition, sink, max_paths);
+  const auto paths = graph::reduced_paths(raw, partition);
+
+  ApproxResult out;
+  out.num_paths = static_cast<int>(paths.size());
+  out.degree.assign(static_cast<std::size_t>(partition.num_types()), 0);
+  out.jointly_implements = joint_types(paths, partition);
+  if (paths.empty()) {
+    // No path at all: the link is certainly broken.
+    out.r_tilde = 1.0;
+    return out;
+  }
+
+  // h_j = |(union of reduced paths) ∩ Π_j|.
+  std::vector<std::set<graph::NodeId>> used(
+      static_cast<std::size_t>(partition.num_types()));
+  for (const Path& path : paths) {
+    for (graph::NodeId v : path) {
+      used[static_cast<std::size_t>(partition.type_of(v))].insert(v);
+    }
+  }
+  for (std::size_t t = 0; t < used.size(); ++t) {
+    out.degree[t] = static_cast<int>(used[t].size());
+  }
+
+  double r = 0.0;
+  for (int t = 0; t < partition.num_types(); ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (!out.jointly_implements[ti]) continue;
+    const int h = out.degree[ti];
+    ARCHEX_ASSERT(h >= 1, "jointly-implementing type must be used");
+    r += static_cast<double>(h) * std::pow(p_type[ti], h);
+  }
+  out.r_tilde = r;
+  out.optimism_bound = theorem2_bound(paths, partition);
+  return out;
+}
+
+}  // namespace archex::rel

@@ -1,0 +1,62 @@
+// archex/rel/approx.hpp
+//
+// The approximate reliability algebra of Section IV-A. For a functional
+// link F_i (all source->sink paths), each component type j that *jointly
+// implements* F_i (every path crosses the type) contributes according to its
+// degree of redundancy h_ij — the number of distinct type-j components used
+// across the reduced paths:
+//
+//     r̃_i = Σ_{j ∈ I_i}  h_ij * p_j^{h_ij}                      (eq. 7)
+//
+// Intuition: if h redundant components of type j back each other up, the
+// link only loses that type when all h fail (p_j^h), and there are h
+// "first failure" orderings. Types with the highest failure probability and
+// least redundancy dominate, which keeps the estimate within the correct
+// order of magnitude; Theorem 2 bounds the optimism:  r̃/r >= m·f / M_f.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/partition.hpp"
+#include "graph/paths.hpp"
+
+namespace archex::rel {
+
+struct ApproxResult {
+  /// Approximate failure probability r̃ of the functional link (eq. 7).
+  double r_tilde = 0.0;
+  /// Degree of redundancy h_j per type (0 when the type is unused).
+  std::vector<int> degree;
+  /// Whether each type jointly implements the link (j ∈ I).
+  std::vector<bool> jointly_implements;
+  /// Number of reduced paths f = |F|.
+  int num_paths = 0;
+  /// Theorem-2 lower bound on r̃/r (m·f / M_f); 0 when f == 0.
+  double optimism_bound = 0.0;
+
+  /// m = |I|: number of jointly-implementing types.
+  [[nodiscard]] int num_joint_types() const {
+    int m = 0;
+    for (bool b : jointly_implements) m += b;
+    return m;
+  }
+};
+
+/// Evaluate the approximate algebra for the functional link of `sink`.
+///
+/// `g` must already have the same-type shorthand expanded (see
+/// graph::expand_same_type_shorthand); redundant components then appear as
+/// parallel path alternatives exactly as the algebra expects. `p_type[j]`
+/// is the failure probability shared by the components of type j.
+[[nodiscard]] ApproxResult approximate_failure(
+    const graph::Digraph& g, const graph::Partition& partition,
+    graph::NodeId sink, const std::vector<double>& p_type,
+    std::size_t max_paths = 1u << 20);
+
+/// The Theorem-2 bound m·f / M_f for an explicit path set, where
+/// M_f = prod_j |mu_j| over the f paths and m = |I|.
+[[nodiscard]] double theorem2_bound(const std::vector<graph::Path>& paths,
+                                    const graph::Partition& partition);
+
+}  // namespace archex::rel

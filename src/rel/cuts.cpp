@@ -1,0 +1,146 @@
+#include "rel/cuts.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+namespace {
+
+using graph::NodeId;
+
+/// Berge's algorithm: minimal transversals of a family of sets, with sets
+/// represented as 64-bit masks.
+std::vector<std::uint64_t> minimal_transversals(
+    const std::vector<std::uint64_t>& family, std::size_t max_out) {
+  std::vector<std::uint64_t> transversals{0};  // of the empty family
+  for (const std::uint64_t set : family) {
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t t : transversals) {
+      if (t & set) {
+        next.push_back(t);  // already hits the new set
+        continue;
+      }
+      std::uint64_t bits = set;
+      while (bits) {
+        const int v = std::countr_zero(bits);
+        bits &= bits - 1;
+        next.push_back(t | (1ULL << v));
+      }
+    }
+    // Keep only minimal masks.
+    std::sort(next.begin(), next.end(),
+              [](std::uint64_t a, std::uint64_t b) {
+                const int pa = std::popcount(a);
+                const int pb = std::popcount(b);
+                return pa != pb ? pa < pb : a < b;
+              });
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    std::vector<std::uint64_t> minimal;
+    for (const std::uint64_t cand : next) {
+      bool dominated = false;
+      for (const std::uint64_t kept : minimal) {
+        if ((kept & cand) == kept) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) minimal.push_back(cand);
+    }
+    if (minimal.size() > max_out) {
+      throw Error("minimal-cut-set enumeration exceeded the cap");
+    }
+    transversals = std::move(minimal);
+  }
+  return transversals;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> minimal_cut_sets(
+    const graph::Digraph& g, const std::vector<NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p, std::size_t max_cuts,
+    std::size_t max_paths) {
+  ARCHEX_REQUIRE(g.num_nodes() <= 64,
+                 "cut-set enumeration supports up to 64 nodes");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+
+  const auto paths = graph::enumerate_simple_paths(g, sources, sink,
+                                                   max_paths);
+  std::vector<std::uint64_t> family;
+  family.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::uint64_t mask = 0;
+    for (const NodeId v : path) {
+      if (p[static_cast<std::size_t>(v)] > 0.0) mask |= 1ULL << v;
+    }
+    if (mask == 0) return {};  // an unbreakable path exists: no cuts
+    family.push_back(mask);
+  }
+  if (family.empty()) return {};  // no path at all: "cut" is the empty set?
+                                  // The link is already broken; callers
+                                  // should treat F = 1 separately.
+
+  const auto transversals = minimal_transversals(family, max_cuts);
+  std::vector<std::vector<NodeId>> cuts;
+  cuts.reserve(transversals.size());
+  for (const std::uint64_t mask : transversals) {
+    std::vector<NodeId> cut;
+    std::uint64_t bits = mask;
+    while (bits) {
+      cut.push_back(std::countr_zero(bits));
+      bits &= bits - 1;
+    }
+    cuts.push_back(std::move(cut));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+FailureBounds esary_proschan_bounds(
+    const std::vector<graph::Path>& paths,
+    const std::vector<std::vector<NodeId>>& cuts,
+    const std::vector<double>& p) {
+  FailureBounds out;
+  if (paths.empty()) {
+    // The link is structurally broken: failure is certain.
+    out.lower = 1.0;
+    out.upper = 1.0;
+    return out;
+  }
+  // Lower bound on failure: every path must fail "independently".
+  double all_paths_fail = 1.0;
+  for (const auto& path : paths) {
+    double path_works = 1.0;
+    for (const NodeId v : path) {
+      path_works *= 1.0 - p[static_cast<std::size_t>(v)];
+    }
+    all_paths_fail *= 1.0 - path_works;
+  }
+  out.lower = paths.empty() ? 1.0 : all_paths_fail;
+
+  // Upper bound: every cut must survive "independently".
+  double all_cuts_survive = 1.0;
+  for (const auto& cut : cuts) {
+    double cut_fails = 1.0;
+    for (const NodeId v : cut) cut_fails *= p[static_cast<std::size_t>(v)];
+    all_cuts_survive *= 1.0 - cut_fails;
+  }
+  out.upper = 1.0 - all_cuts_survive;
+  return out;
+}
+
+FailureBounds esary_proschan_bounds(const graph::Digraph& g,
+                                    const std::vector<NodeId>& sources,
+                                    graph::NodeId sink,
+                                    const std::vector<double>& p) {
+  const auto paths = graph::enumerate_simple_paths(g, sources, sink);
+  const auto cuts = minimal_cut_sets(g, sources, sink, p);
+  return esary_proschan_bounds(paths, cuts, p);
+}
+
+}  // namespace archex::rel

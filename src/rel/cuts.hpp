@@ -1,0 +1,52 @@
+// archex/rel/cuts.hpp
+//
+// Minimal cut sets of a functional link and the Esary–Proschan two-sided
+// bounds built from path/cut sets. Classical reliability-engineering
+// companions to the exact analyzers: cut sets answer "which combinations of
+// component failures break the link", and the EP bounds bracket the exact
+// failure probability using only the (often small) path and cut families —
+// useful as a fast screen before running the exponential exact analysis.
+//
+// Definitions (node failures, as everywhere in ARCHEX):
+//  * a path set is the node set of a simple source->sink path;
+//  * a cut set is a set of *failable* nodes whose joint failure disconnects
+//    every source from the sink; it is minimal when no proper subset is.
+//    Cut sets are exactly the minimal transversals (hitting sets) of the
+//    family of path sets, restricted to nodes with p > 0.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/paths.hpp"
+
+namespace archex::rel {
+
+/// All minimal cut sets of the link (sorted node lists, lexicographic).
+/// `p[v] == 0` marks nodes that never fail; they are excluded from cuts
+/// (a cut relying on them can never occur). Throws archex::Error when the
+/// enumeration exceeds `max_cuts` or path enumeration exceeds `max_paths`.
+[[nodiscard]] std::vector<std::vector<graph::NodeId>> minimal_cut_sets(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p,
+    std::size_t max_cuts = 4096, std::size_t max_paths = 1u << 16);
+
+/// Two-sided Esary–Proschan bounds on the failure probability.
+struct FailureBounds {
+  double lower = 0.0;  // prod over paths (1 - prod reliabilities)
+  double upper = 1.0;  // 1 - prod over cuts (1 - prod failure probs)
+};
+
+/// Bounds from explicit path and cut families (node-id sets) and per-node
+/// failure probabilities.
+[[nodiscard]] FailureBounds esary_proschan_bounds(
+    const std::vector<graph::Path>& paths,
+    const std::vector<std::vector<graph::NodeId>>& cuts,
+    const std::vector<double>& p);
+
+/// Convenience: enumerate paths and cuts internally.
+[[nodiscard]] FailureBounds esary_proschan_bounds(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p);
+
+}  // namespace archex::rel

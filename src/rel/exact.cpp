@@ -1,0 +1,259 @@
+#include "rel/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+
+#include "graph/paths.hpp"
+#include "rel/series_parallel.hpp"
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+
+enum class NodeState : unsigned char { kUndecided, kUp, kDown };
+
+/// Factoring (pivot decomposition) engine.
+class Factoring {
+ public:
+  Factoring(const Digraph& g, std::vector<NodeId> sources, NodeId sink,
+            const std::vector<double>& p)
+      : g_(g), sources_(std::move(sources)), sink_(sink), p_(p) {
+    state_.assign(static_cast<std::size_t>(g.num_nodes()),
+                  NodeState::kUndecided);
+    // Perfectly reliable nodes never branch: force them up once.
+    for (std::size_t v = 0; v < p_.size(); ++v) {
+      if (p_[v] == 0.0) state_[v] = NodeState::kUp;
+    }
+  }
+
+  double run() { return recurse(); }
+
+ private:
+  /// BFS over nodes that are not Down; returns per-node flags reachable from
+  /// any source. Fills `via_up_only[v]` when v is reachable using only Up
+  /// nodes (certain-success test).
+  struct Reach {
+    std::vector<bool> possible;  // reachable via Up || Undecided
+    std::vector<bool> certain;   // reachable via Up only
+  };
+
+  Reach reachability() const {
+    const auto n = static_cast<std::size_t>(g_.num_nodes());
+    Reach r{std::vector<bool>(n, false), std::vector<bool>(n, false)};
+    std::deque<NodeId> queue;
+    for (NodeId s : sources_) {
+      const auto si = static_cast<std::size_t>(s);
+      if (state_[si] == NodeState::kDown) continue;
+      if (!r.possible[si]) {
+        r.possible[si] = true;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g_.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (state_[vi] == NodeState::kDown || r.possible[vi]) continue;
+        r.possible[vi] = true;
+        queue.push_back(v);
+      }
+    }
+    // Second pass restricted to Up nodes.
+    queue.clear();
+    for (NodeId s : sources_) {
+      const auto si = static_cast<std::size_t>(s);
+      if (state_[si] != NodeState::kUp || r.certain[si]) continue;
+      r.certain[si] = true;
+      queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g_.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (state_[vi] != NodeState::kUp || r.certain[vi]) continue;
+        r.certain[vi] = true;
+        queue.push_back(v);
+      }
+    }
+    return r;
+  }
+
+  /// Pick the pivot: an undecided node on some surviving source->sink path.
+  /// Preference goes to nodes close to the sink on a BFS tree, which makes
+  /// the certain-failure prune fire early on layered templates.
+  NodeId pick_pivot(const Reach& r) const {
+    // Nodes that can still reach the sink through non-Down nodes.
+    const auto n = static_cast<std::size_t>(g_.num_nodes());
+    std::vector<bool> to_sink(n, false);
+    std::deque<NodeId> queue;
+    if (state_[static_cast<std::size_t>(sink_)] != NodeState::kDown) {
+      to_sink[static_cast<std::size_t>(sink_)] = true;
+      queue.push_back(sink_);
+    }
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g_.predecessors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (state_[vi] == NodeState::kDown || to_sink[vi]) continue;
+        to_sink[vi] = true;
+        queue.push_back(v);
+      }
+      // Visit in BFS order from the sink: the first undecided node on a
+      // surviving path is the pivot.
+      const auto ui = static_cast<std::size_t>(u);
+      if (state_[ui] == NodeState::kUndecided && r.possible[ui]) return u;
+    }
+    return -1;
+  }
+
+  double recurse() {
+    const Reach r = reachability();
+    const auto sink_i = static_cast<std::size_t>(sink_);
+    // Certain failure: no surviving path can exist any more.
+    if (state_[sink_i] == NodeState::kDown || !r.possible[sink_i]) return 1.0;
+    // Certain success: a fully-working path already exists.
+    if (r.certain[sink_i]) return 0.0;
+
+    const NodeId pivot = pick_pivot(r);
+    ARCHEX_ASSERT(pivot >= 0,
+                  "no pivot despite undecided connectivity state");
+    const auto pi = static_cast<std::size_t>(pivot);
+    const double pv = p_[pi];
+
+    state_[pi] = NodeState::kDown;
+    const double fail_branch = recurse();
+    state_[pi] = NodeState::kUp;
+    const double work_branch = recurse();
+    state_[pi] = NodeState::kUndecided;
+
+    return pv * fail_branch + (1.0 - pv) * work_branch;
+  }
+
+  const Digraph& g_;
+  std::vector<NodeId> sources_;
+  NodeId sink_;
+  const std::vector<double>& p_;
+  std::vector<NodeState> state_;
+};
+
+/// Inclusion–exclusion over minimal path sets. For a functional link with
+/// paths mu_1..mu_f:
+///   P(working) = sum_{S != empty} (-1)^{|S|+1} prod_{v in union(S)} (1-p_v)
+/// computed by recursion over paths carrying the running node-set union.
+class InclusionExclusion {
+ public:
+  InclusionExclusion(const Digraph& g, const std::vector<NodeId>& sources,
+                     NodeId sink, const std::vector<double>& p,
+                     std::size_t max_paths)
+      : p_(p) {
+    ARCHEX_REQUIRE(g.num_nodes() <= 64,
+                   "inclusion–exclusion supports up to 64 nodes; "
+                   "use the factoring method for larger graphs");
+    const auto paths = graph::enumerate_simple_paths(g, sources, sink,
+                                                     max_paths);
+    ARCHEX_REQUIRE(paths.size() <= 24,
+                   "inclusion–exclusion over >24 paths is intractable; "
+                   "use the factoring method");
+    for (const auto& path : paths) {
+      std::uint64_t mask = 0;
+      for (NodeId v : path) mask |= (1ULL << v);
+      masks_.push_back(mask);
+    }
+  }
+
+  double run() const {
+    // Starting the recursion at sign = -1 makes a subset of k paths carry
+    // (-1)^{k+1}, matching P(∪ A_i) = Σ_{S≠∅} (-1)^{|S|+1} P(∩_{i∈S} A_i).
+    const double works = subset_sum(0, 0, -1);
+    return 1.0 - works;
+  }
+
+ private:
+  double subset_sum(std::size_t index, std::uint64_t mask, int sign) const {
+    if (index == masks_.size()) {
+      if (mask == 0) return 0.0;  // skip the empty subset
+      double prob_all_up = 1.0;
+      std::uint64_t bits = mask;
+      while (bits) {
+        const int v = std::countr_zero(bits);
+        bits &= bits - 1;
+        prob_all_up *= 1.0 - p_[static_cast<std::size_t>(v)];
+      }
+      return sign * prob_all_up;
+    }
+    // Exclude, then include path `index` (flipping the sign).
+    return subset_sum(index + 1, mask, sign) +
+           subset_sum(index + 1, mask | masks_[index], -sign);
+  }
+
+  const std::vector<double>& p_;
+  std::vector<std::uint64_t> masks_;
+};
+
+void validate(const Digraph& g, const std::vector<NodeId>& sources,
+              NodeId sink, const std::vector<double>& p) {
+  ARCHEX_REQUIRE(sink >= 0 && sink < g.num_nodes(), "sink out of range");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+  for (double v : p) {
+    ARCHEX_REQUIRE(v >= 0.0 && v <= 1.0,
+                   "failure probabilities must lie in [0, 1]");
+  }
+  for (NodeId s : sources) {
+    ARCHEX_REQUIRE(s >= 0 && s < g.num_nodes(), "source out of range");
+  }
+}
+
+}  // namespace
+
+double failure_probability(const Digraph& g,
+                           const std::vector<NodeId>& sources,
+                           graph::NodeId sink, const std::vector<double>& p,
+                           ExactMethod method, std::size_t max_paths) {
+  validate(g, sources, sink, p);
+  if (sources.empty()) return 1.0;
+  switch (method) {
+    case ExactMethod::kFactoring:
+      return Factoring(g, sources, sink, p).run();
+    case ExactMethod::kInclusionExclusion:
+      return InclusionExclusion(g, sources, sink, p, max_paths).run();
+    case ExactMethod::kSeriesParallelAuto: {
+      if (const auto reduced = series_parallel_failure(g, sources, sink, p)) {
+        return *reduced;
+      }
+      return Factoring(g, sources, sink, p).run();
+    }
+  }
+  throw InternalError("unknown exact method");
+}
+
+double failure_probability(const Digraph& g, const graph::Partition& partition,
+                           graph::NodeId sink, const std::vector<double>& p,
+                           ExactMethod method, std::size_t max_paths) {
+  return failure_probability(g, partition.members(0), sink, p, method,
+                             max_paths);
+}
+
+double worst_failure_probability(const Digraph& g,
+                                 const graph::Partition& partition,
+                                 const std::vector<graph::NodeId>& sinks,
+                                 const std::vector<double>& p,
+                                 ExactMethod method) {
+  double worst = 0.0;
+  for (graph::NodeId sink : sinks) {
+    worst = std::max(worst,
+                     failure_probability(g, partition, sink, p, method));
+  }
+  return worst;
+}
+
+}  // namespace archex::rel

@@ -1,0 +1,55 @@
+#include "rel/importance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "rel/exact.hpp"
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+ImportanceReport importance_analysis(const graph::Digraph& g,
+                                     const std::vector<graph::NodeId>& sources,
+                                     graph::NodeId sink,
+                                     const std::vector<double>& p) {
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+
+  ImportanceReport report;
+  report.failure = failure_probability(g, sources, sink, p);
+
+  std::vector<double> conditioned = p;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (p[vi] <= 0.0) continue;  // perfect components are never ranked
+
+    ComponentImportance entry;
+    entry.node = v;
+    conditioned[vi] = 1.0;  // v failed
+    entry.failure_if_down = failure_probability(g, sources, sink, conditioned);
+    conditioned[vi] = 0.0;  // v working
+    entry.failure_if_up = failure_probability(g, sources, sink, conditioned);
+    conditioned[vi] = p[vi];
+
+    entry.birnbaum = entry.failure_if_down - entry.failure_if_up;
+    if (report.failure > 0.0) {
+      entry.risk_achievement = entry.failure_if_down / report.failure;
+    }
+    if (entry.failure_if_up > 0.0) {
+      entry.risk_reduction = report.failure / entry.failure_if_up;
+    } else if (report.failure > 0.0) {
+      // Removing this component's failures eliminates all system failures.
+      entry.risk_reduction = std::numeric_limits<double>::infinity();
+    }
+    report.components.push_back(entry);
+  }
+
+  std::sort(report.components.begin(), report.components.end(),
+            [](const ComponentImportance& a, const ComponentImportance& b) {
+              if (a.birnbaum != b.birnbaum) return a.birnbaum > b.birnbaum;
+              return a.node < b.node;
+            });
+  return report;
+}
+
+}  // namespace archex::rel

@@ -1,0 +1,44 @@
+// archex/rel/importance.hpp
+//
+// Component importance measures for a functional link — which component
+// should be hardened (or doubled) first? Computed exactly from the
+// factoring analyzer by conditioning each component up/down:
+//
+//   Birnbaum  I_B(v) = F(v failed) - F(v working)   (= dF / dp_v)
+//   RAW(v)    = F(v failed)  / F     ("risk achievement worth")
+//   RRW(v)    = F / F(v working)     ("risk reduction worth")
+//
+// These are the standard FTA/PRA measures the paper's Section I contrasts
+// with its structure-level synthesis view; having them here lets a designer
+// audit a synthesized architecture component by component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace archex::rel {
+
+struct ComponentImportance {
+  graph::NodeId node = -1;
+  double birnbaum = 0.0;
+  double risk_achievement = 1.0;  // RAW; 1 when the component is irrelevant
+  double risk_reduction = 1.0;    // RRW
+  double failure_if_down = 0.0;   // F(v failed)
+  double failure_if_up = 0.0;     // F(v working)
+};
+
+struct ImportanceReport {
+  /// Exact failure probability of the unconditioned link.
+  double failure = 0.0;
+  /// One entry per failable node (p > 0), sorted by Birnbaum descending.
+  std::vector<ComponentImportance> components;
+};
+
+/// Exact importance analysis of the link from `sources` to `sink`.
+[[nodiscard]] ImportanceReport importance_analysis(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p);
+
+}  // namespace archex::rel

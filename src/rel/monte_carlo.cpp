@@ -1,0 +1,132 @@
+#include "rel/monte_carlo.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+MonteCarloResult monte_carlo_failure(const graph::Digraph& g,
+                                     const std::vector<graph::NodeId>& sources,
+                                     graph::NodeId sink,
+                                     const std::vector<double>& p,
+                                     long samples, Rng& rng) {
+  ARCHEX_REQUIRE(samples > 0, "sample count must be positive");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  std::vector<bool> up(n);
+  std::vector<bool> seen(n);
+  long failures = 0;
+  for (long s = 0; s < samples; ++s) {
+    for (std::size_t v = 0; v < n; ++v) up[v] = !rng.next_bernoulli(p[v]);
+    // BFS from the sources over working nodes.
+    std::fill(seen.begin(), seen.end(), false);
+    std::deque<graph::NodeId> queue;
+    for (graph::NodeId src : sources) {
+      const auto si = static_cast<std::size_t>(src);
+      if (up[si] && !seen[si]) {
+        seen[si] = true;
+        queue.push_back(src);
+      }
+    }
+    bool connected = false;
+    while (!queue.empty() && !connected) {
+      const graph::NodeId u = queue.front();
+      queue.pop_front();
+      if (u == sink) {
+        connected = true;
+        break;
+      }
+      for (graph::NodeId v : g.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (up[vi] && !seen[vi]) {
+          seen[vi] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (seen[static_cast<std::size_t>(sink)]) connected = true;
+    failures += connected ? 0 : 1;
+  }
+
+  MonteCarloResult out;
+  out.samples = samples;
+  out.estimate = static_cast<double>(failures) / static_cast<double>(samples);
+  out.std_error = std::sqrt(out.estimate * (1.0 - out.estimate) /
+                            static_cast<double>(samples));
+  return out;
+}
+
+MonteCarloResult monte_carlo_failure_biased(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p, long samples, Rng& rng,
+    double bias) {
+  ARCHEX_REQUIRE(samples > 0, "sample count must be positive");
+  ARCHEX_REQUIRE(bias > 0.0 && bias < 1.0, "bias must lie in (0, 1)");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Biased sampling distribution: q_v = max(p_v, bias) for failable nodes;
+  // perfect nodes stay perfect (no weight contribution).
+  std::vector<double> q(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    q[v] = p[v] > 0.0 ? std::max(p[v], bias) : 0.0;
+  }
+
+  std::vector<bool> up(n);
+  std::vector<bool> seen(n);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (long s = 0; s < samples; ++s) {
+    double weight = 1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (q[v] <= 0.0) {
+        up[v] = true;
+        continue;
+      }
+      const bool fail = rng.next_bernoulli(q[v]);
+      up[v] = !fail;
+      weight *= fail ? p[v] / q[v] : (1.0 - p[v]) / (1.0 - q[v]);
+    }
+    // BFS over working nodes.
+    std::fill(seen.begin(), seen.end(), false);
+    std::deque<graph::NodeId> queue;
+    for (graph::NodeId src : sources) {
+      const auto si = static_cast<std::size_t>(src);
+      if (up[si] && !seen[si]) {
+        seen[si] = true;
+        queue.push_back(src);
+      }
+    }
+    while (!queue.empty()) {
+      const graph::NodeId u = queue.front();
+      queue.pop_front();
+      for (graph::NodeId v : g.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (up[vi] && !seen[vi]) {
+          seen[vi] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (!seen[static_cast<std::size_t>(sink)]) {
+      sum_w += weight;
+      sum_w2 += weight * weight;
+    }
+  }
+
+  MonteCarloResult out;
+  out.samples = samples;
+  const auto ns = static_cast<double>(samples);
+  out.estimate = sum_w / ns;
+  const double variance =
+      std::max(0.0, sum_w2 / ns - out.estimate * out.estimate);
+  out.std_error = std::sqrt(variance / ns);
+  return out;
+}
+
+}  // namespace archex::rel

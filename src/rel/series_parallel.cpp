@@ -1,0 +1,179 @@
+#include "rel/series_parallel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+namespace {
+
+struct Edge {
+  int from;
+  int to;
+  double rel;   // probability the edge "works"
+  bool alive = true;
+};
+
+/// Working multigraph under reduction.
+class SpGraph {
+ public:
+  SpGraph(int num_nodes, int source, int sink)
+      : n_(num_nodes), source_(source), sink_(sink) {}
+
+  void add_edge(int from, int to, double rel) {
+    edges_.push_back({from, to, rel, true});
+  }
+
+  /// Run reductions to a fixed point; returns the sink failure probability
+  /// when fully reduced, nullopt otherwise.
+  std::optional<double> reduce() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      changed |= drop_unreachable();
+      changed |= merge_parallel();
+      changed |= contract_series();
+    }
+    // Count surviving edges.
+    double rel = -1.0;
+    int alive = 0;
+    for (const Edge& e : edges_) {
+      if (!e.alive) continue;
+      ++alive;
+      if (e.from == source_ && e.to == sink_) rel = e.rel;
+    }
+    if (alive == 0) return 1.0;  // sink unreachable: certain failure
+    if (alive == 1 && rel >= 0.0) return 1.0 - rel;
+    return std::nullopt;  // irreducible (non-series-parallel) remainder
+  }
+
+ private:
+  /// Remove edges not on any source->sink route (dead ends, unreachable
+  /// islands). Returns true when something was removed.
+  bool drop_unreachable() {
+    std::vector<bool> from_src(static_cast<std::size_t>(n_), false);
+    std::vector<bool> to_sink(static_cast<std::size_t>(n_), false);
+    bfs(source_, /*forward=*/true, from_src);
+    bfs(sink_, /*forward=*/false, to_sink);
+    bool changed = false;
+    for (Edge& e : edges_) {
+      if (!e.alive) continue;
+      if (!from_src[static_cast<std::size_t>(e.from)] ||
+          !to_sink[static_cast<std::size_t>(e.to)]) {
+        e.alive = false;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  void bfs(int start, bool forward, std::vector<bool>& seen) const {
+    seen[static_cast<std::size_t>(start)] = true;
+    std::deque<int> queue{start};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const Edge& e : edges_) {
+        if (!e.alive) continue;
+        const int tail = forward ? e.from : e.to;
+        const int head = forward ? e.to : e.from;
+        if (tail == u && !seen[static_cast<std::size_t>(head)]) {
+          seen[static_cast<std::size_t>(head)] = true;
+          queue.push_back(head);
+        }
+      }
+    }
+  }
+
+  bool merge_parallel() {
+    std::map<std::pair<int, int>, std::size_t> first;
+    bool changed = false;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      Edge& e = edges_[i];
+      if (!e.alive) continue;
+      if (e.from == e.to) {  // self loop: never useful
+        e.alive = false;
+        changed = true;
+        continue;
+      }
+      const auto [it, inserted] = first.try_emplace({e.from, e.to}, i);
+      if (!inserted) {
+        Edge& keep = edges_[it->second];
+        keep.rel = 1.0 - (1.0 - keep.rel) * (1.0 - e.rel);
+        e.alive = false;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool contract_series() {
+    // Degree census over alive edges.
+    std::vector<int> in_deg(static_cast<std::size_t>(n_), 0);
+    std::vector<int> out_deg(static_cast<std::size_t>(n_), 0);
+    std::vector<std::size_t> in_edge(static_cast<std::size_t>(n_), 0);
+    std::vector<std::size_t> out_edge(static_cast<std::size_t>(n_), 0);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const Edge& e = edges_[i];
+      if (!e.alive) continue;
+      ++in_deg[static_cast<std::size_t>(e.to)];
+      in_edge[static_cast<std::size_t>(e.to)] = i;
+      ++out_deg[static_cast<std::size_t>(e.from)];
+      out_edge[static_cast<std::size_t>(e.from)] = i;
+    }
+    bool changed = false;
+    for (int x = 0; x < n_; ++x) {
+      if (x == source_ || x == sink_) continue;
+      const auto xi = static_cast<std::size_t>(x);
+      if (in_deg[xi] != 1 || out_deg[xi] != 1) continue;
+      Edge& a = edges_[in_edge[xi]];
+      Edge& b = edges_[out_edge[xi]];
+      if (!a.alive || !b.alive || &a == &b) continue;
+      a.to = b.to;
+      a.rel *= b.rel;
+      b.alive = false;
+      changed = true;
+      // Degrees are stale now; restart the pass.
+      return true;
+    }
+    return changed;
+  }
+
+  int n_;
+  int source_;
+  int sink_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace
+
+std::optional<double> series_parallel_failure(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p) {
+  ARCHEX_REQUIRE(sink >= 0 && sink < g.num_nodes(), "sink out of range");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+  if (sources.empty()) return 1.0;
+
+  // Node splitting: v -> (2v, 2v+1) with the node's reliability on the
+  // internal edge; plus a perfect super-source at index 2n.
+  const int n = g.num_nodes();
+  const int super = 2 * n;
+  SpGraph sp(2 * n + 1, super, 2 * sink + 1);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    sp.add_edge(2 * v, 2 * v + 1, 1.0 - p[static_cast<std::size_t>(v)]);
+  }
+  for (const auto& [u, v] : g.edges()) {
+    sp.add_edge(2 * u + 1, 2 * v, 1.0);
+  }
+  for (const graph::NodeId s : sources) {
+    ARCHEX_REQUIRE(s >= 0 && s < n, "source out of range");
+    sp.add_edge(super, 2 * s, 1.0);
+  }
+  return sp.reduce();
+}
+
+}  // namespace archex::rel

@@ -1,0 +1,33 @@
+// archex/rel/series_parallel.hpp
+//
+// Series-parallel reduction: the polynomial-time exact method for the class
+// of graphs where it applies (Lucet & Manouvrier [1] survey it among the
+// exact techniques). Node failures are turned into edge failures by node
+// splitting (v becomes v_in -> v_out carrying v's reliability), multiple
+// sources merge into a perfect super-source, and then the standard rules
+// contract the graph:
+//
+//   series:    -- a --> x -- b -->   =>   -- a*b -->        (x relay-only)
+//   parallel:  two u -> v edges      =>   1 - (1-a)(1-b)
+//
+// If the reduction reaches a single source->sink edge, its reliability is
+// exact. Graphs with bridge-like structure (e.g. a Wheatstone cell) do not
+// reduce; the analyzer reports that instead of guessing, and callers fall
+// back to factoring. EPS architectures — parallel chains with expanded
+// ties — typically reduce completely, making this the fastest exact path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace archex::rel {
+
+/// Exact failure probability via series-parallel reduction, or nullopt when
+/// the (split, merged) graph is not series-parallel reducible.
+[[nodiscard]] std::optional<double> series_parallel_failure(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p);
+
+}  // namespace archex::rel

@@ -1,0 +1,74 @@
+// archex/support/check.hpp
+//
+// Lightweight diagnostics for ARCHEX: a library-level exception hierarchy and
+// precondition/invariant macros. Following the C++ Core Guidelines (I.5,
+// E.2), violated preconditions throw rather than abort, so that callers
+// embedding the library (tests, long-running exploration loops) can recover.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace archex {
+
+/// Base class for all errors raised by the ARCHEX library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug inside the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge or detected ill-conditioning.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* kind,
+                                             const char* expr,
+                                             const std::string& msg,
+                                             const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failure: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) os << " — " << msg;
+  if (kind == std::string("precondition")) throw PreconditionError(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace archex
+
+/// Validate a documented precondition of a public entry point.
+#define ARCHEX_REQUIRE(cond, msg)                                   \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::archex::detail::raise_check_failure(                        \
+          "precondition", #cond, (msg), std::source_location::current()); \
+    }                                                               \
+  } while (false)
+
+/// Validate an internal invariant; failure indicates a library bug.
+#define ARCHEX_ASSERT(cond, msg)                                    \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::archex::detail::raise_check_failure(                        \
+          "invariant", #cond, (msg), std::source_location::current()); \
+    }                                                               \
+  } while (false)

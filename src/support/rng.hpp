@@ -1,0 +1,88 @@
+// archex/support/rng.hpp
+//
+// Deterministic pseudo-random number generation for tests and benchmarks.
+// ARCHEX's algorithms are deterministic; randomness appears only in
+// (a) Monte-Carlo cross-validation of the exact reliability analyzers and
+// (b) randomized property tests. A small, seedable, reproducible generator
+// keeps those runs stable across platforms (std::mt19937 distributions are
+// not guaranteed to be portable; we implement our own mapping).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace archex {
+
+/// SplitMix64: tiny, high-quality 64-bit generator (public-domain algorithm
+/// by Sebastiano Vigna). Used directly and to seed larger state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ generator: fast, 256-bit state, excellent statistical
+/// quality; the workhorse for Monte-Carlo sampling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ARCHEX_REQUIRE(bound > 0, "next_below requires a positive bound");
+    // Rejection-free fast path is fine for our test workloads; use simple
+    // modulo-free multiply-high technique with one retry loop.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace archex

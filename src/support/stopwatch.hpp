@@ -1,0 +1,70 @@
+// archex/support/stopwatch.hpp
+//
+// Monotonic wall-clock stopwatch used by the synthesis algorithms to report
+// per-phase timings (reliability-analysis time vs. ILP-solver time, as in
+// Tables II and III of the paper).
+#pragma once
+
+#include <chrono>
+
+namespace archex {
+
+/// Accumulating stopwatch over the steady clock.
+///
+/// A Stopwatch can be started and stopped repeatedly; `elapsed_seconds()`
+/// reports the total accumulated running time. This matches how the paper
+/// attributes time to phases that interleave (ILP-MR alternates solver and
+/// reliability-analysis work within one run).
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Begin (or resume) timing. Calling start() while running restarts the
+  /// current lap without losing previously accumulated time.
+  void start() {
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Stop timing and fold the current lap into the accumulated total.
+  void stop() {
+    if (running_) {
+      accumulated_ += Clock::now() - start_;
+      running_ = false;
+    }
+  }
+
+  /// Discard all accumulated time and stop.
+  void reset() {
+    accumulated_ = Clock::duration::zero();
+    running_ = false;
+  }
+
+  /// Total accumulated seconds, including the in-flight lap if running.
+  [[nodiscard]] double elapsed_seconds() const {
+    auto total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  Clock::time_point start_{};
+  Clock::duration accumulated_{Clock::duration::zero()};
+  bool running_ = false;
+};
+
+/// RAII lap guard: starts `watch` on construction, stops it on destruction.
+class ScopedLap {
+ public:
+  explicit ScopedLap(Stopwatch& watch) : watch_(watch) { watch_.start(); }
+  ~ScopedLap() { watch_.stop(); }
+  ScopedLap(const ScopedLap&) = delete;
+  ScopedLap& operator=(const ScopedLap&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace archex

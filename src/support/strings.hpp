@@ -1,0 +1,27 @@
+// archex/support/strings.hpp
+//
+// Small string helpers shared across modules (name generation for template
+// nodes, DOT identifier sanitization, joining diagnostic lists).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace archex {
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Split `text` on `delim`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delim);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Replace characters not in [A-Za-z0-9_] by '_' (DOT-safe identifier).
+[[nodiscard]] std::string sanitize_identifier(std::string_view text);
+
+}  // namespace archex

@@ -1,0 +1,48 @@
+// archex/support/table.hpp
+//
+// Minimal fixed-column ASCII table and CSV writer. The benchmark harnesses
+// use this to print rows in the same layout as the paper's Tables II/III,
+// and to dump machine-readable CSV next to the human-readable output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace archex {
+
+/// A simple in-memory table: a header row plus data rows of strings.
+///
+/// Cells are stored as preformatted strings; numeric formatting helpers are
+/// provided for the common cases (fixed decimals, scientific reliability
+/// values, integer counts).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+
+  /// Render with aligned columns, `|` separators and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` places after the decimal point.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Format a probability in scientific notation, e.g. "2.8e-10".
+[[nodiscard]] std::string format_sci(double value, int digits = 2);
+
+/// Format an integer count with no decoration.
+[[nodiscard]] std::string format_count(long long value);
+
+}  // namespace archex

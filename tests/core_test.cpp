@@ -1,0 +1,487 @@
+// Tests for archex::core: template/library model, configuration semantics
+// (eq. 1 cost), base-ILP constraint builders (eqs. 2-4), the decision-edge
+// walk-indicator encoder, and both synthesis algorithms on a small custom
+// template — including a brute-force optimality cross-check for ILP-AR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/arch_ilp.hpp"
+#include "core/arch_template.hpp"
+#include "core/configuration.hpp"
+#include "core/ilp_ar.hpp"
+#include "core/ilp_mr.hpp"
+#include "core/reach_encoder.hpp"
+#include "ilp/solver.hpp"
+
+namespace archex::core {
+namespace {
+
+using graph::NodeId;
+
+// A tiny three-layer template: 2 sources, 2 middles (tied), 1 sink.
+//   S1,S2 (type 0, p=0.01) -> M1,M2 (type 1, p=0.02) -> T (type 2, p=0)
+// Candidate edges: every S->M, every M->T, and the tie M1<->M2.
+struct Tiny {
+  Template tmpl;
+  NodeId s1, s2, m1, m2, t;
+
+  explicit Tiny(double supply = 10.0, double demand = 5.0) {
+    s1 = tmpl.add_component({"S1", 0, 10.0, 0.01, supply, 0.0});
+    s2 = tmpl.add_component({"S2", 0, 12.0, 0.01, supply, 0.0});
+    m1 = tmpl.add_component({"M1", 1, 5.0, 0.02, supply, demand});
+    m2 = tmpl.add_component({"M2", 1, 6.0, 0.02, supply, demand});
+    t = tmpl.add_component({"T", 2, 0.0, 0.0, 0.0, demand});
+    for (NodeId s : {s1, s2}) {
+      for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(s, m, 1.0);
+    }
+    tmpl.add_candidate_edge(m1, m2, 1.0);
+    tmpl.add_candidate_edge(m2, m1, 1.0);
+    for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(m, t, 1.0);
+  }
+
+  void base_rules(ArchitectureIlp& ilp) const {
+    ilp.require_all_sinks_fed();
+    // A middle feeding the sink (or a tied middle) must itself be fed.
+    for (NodeId m : {m1, m2}) {
+      ilp.add_conditional_predecessor_rule({t, m1, m2}, m, {s1, s2});
+    }
+  }
+};
+
+// ---- Template ----------------------------------------------------------------
+
+TEST(Template, ValidatesComponents) {
+  Template t;
+  EXPECT_THROW(t.add_component({"x", -1, 1.0, 0.0, 0.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW(t.add_component({"x", 0, -5.0, 0.0, 0.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW(t.add_component({"x", 0, 1.0, 1.5, 0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(Template, ValidatesCandidateEdges) {
+  Tiny tiny;
+  EXPECT_THROW(tiny.tmpl.add_candidate_edge(tiny.s1, tiny.s1, 1.0),
+               PreconditionError);
+  EXPECT_THROW(tiny.tmpl.add_candidate_edge(tiny.s1, tiny.m1, 1.0),
+               PreconditionError);  // duplicate
+  // Reverse of an existing pair must carry the same switch cost.
+  EXPECT_THROW(tiny.tmpl.add_candidate_edge(tiny.m1, tiny.s1, 99.0),
+               PreconditionError);
+}
+
+TEST(Template, PartitionAndRoles) {
+  const Tiny tiny;
+  EXPECT_EQ(tiny.tmpl.num_components(), 5);
+  EXPECT_EQ(tiny.tmpl.num_types(), 3);
+  EXPECT_EQ(tiny.tmpl.sources(), (std::vector<NodeId>{tiny.s1, tiny.s2}));
+  EXPECT_EQ(tiny.tmpl.sinks(), (std::vector<NodeId>{tiny.t}));
+}
+
+TEST(Template, EdgeIndexLookup) {
+  const Tiny tiny;
+  EXPECT_TRUE(tiny.tmpl.edge_index(tiny.s1, tiny.m1).has_value());
+  EXPECT_FALSE(tiny.tmpl.edge_index(tiny.s1, tiny.t).has_value());
+}
+
+TEST(Template, TypeFailureProbsRequireHomogeneity) {
+  const Tiny tiny;
+  EXPECT_EQ(tiny.tmpl.type_failure_probs(),
+            (std::vector<double>{0.01, 0.02, 0.0}));
+  Template bad;
+  bad.add_component({"a", 0, 1.0, 0.1, 0.0, 0.0});
+  bad.add_component({"b", 0, 1.0, 0.2, 0.0, 0.0});
+  EXPECT_THROW((void)bad.type_failure_probs(), PreconditionError);
+}
+
+// ---- Configuration -------------------------------------------------------------
+
+TEST(Configuration, CostFollowsEquationOne) {
+  const Tiny tiny;
+  // Select S1->M1, M1->T: nodes S1 (10) + M1 (5) + T (0) = 15, switches 2.
+  std::vector<bool> sel(static_cast<std::size_t>(tiny.tmpl.num_candidate_edges()),
+                        false);
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.s1, tiny.m1))] = true;
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.m1, tiny.t))] = true;
+  const Configuration cfg(tiny.tmpl, sel);
+  EXPECT_DOUBLE_EQ(cfg.total_cost(), 17.0);
+  EXPECT_EQ(cfg.num_used_nodes(), 3);
+  EXPECT_EQ(cfg.num_selected_edges(), 2);
+}
+
+TEST(Configuration, BidirectionalPairChargedOnce) {
+  const Tiny tiny;
+  // Both tie directions selected: one contactor charge (e_ij ∨ e_ji).
+  std::vector<bool> sel(static_cast<std::size_t>(tiny.tmpl.num_candidate_edges()),
+                        false);
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.m1, tiny.m2))] = true;
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.m2, tiny.m1))] = true;
+  const Configuration cfg(tiny.tmpl, sel);
+  // Nodes M1 (5) + M2 (6) + one switch (1).
+  EXPECT_DOUBLE_EQ(cfg.total_cost(), 12.0);
+}
+
+TEST(Configuration, FailureProbabilityMatchesClosedForm) {
+  const Tiny tiny;
+  // Series S1 -> M1 -> T: failure = 1 - (1-p_S)(1-p_M)(1-p_T).
+  std::vector<bool> sel(static_cast<std::size_t>(tiny.tmpl.num_candidate_edges()),
+                        false);
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.s1, tiny.m1))] = true;
+  sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(tiny.m1, tiny.t))] = true;
+  const Configuration cfg(tiny.tmpl, sel);
+  EXPECT_NEAR(cfg.failure_probability(tiny.t),
+              1.0 - 0.99 * 0.98, 1e-12);
+  EXPECT_NEAR(cfg.worst_failure_probability(),
+              cfg.failure_probability(tiny.t), 0.0);
+}
+
+TEST(Configuration, TieExpandsToParallelPaths) {
+  const Tiny tiny;
+  // S1->M1, tie M1<->M2 (one direction is enough), S2->M2, M1->T, M2->T:
+  // two parallel chains; approximate algebra sees h = 2 everywhere.
+  std::vector<bool> sel(static_cast<std::size_t>(tiny.tmpl.num_candidate_edges()),
+                        false);
+  for (auto [u, v] : {std::pair{tiny.s1, tiny.m1}, {tiny.s2, tiny.m2},
+                      {tiny.m1, tiny.m2}, {tiny.m1, tiny.t},
+                      {tiny.m2, tiny.t}}) {
+    sel[static_cast<std::size_t>(*tiny.tmpl.edge_index(u, v))] = true;
+  }
+  const Configuration cfg(tiny.tmpl, sel);
+  const rel::ApproxResult a = cfg.approximate_failure(tiny.t);
+  EXPECT_EQ(a.degree[0], 2);
+  EXPECT_EQ(a.degree[1], 2);
+  EXPECT_NEAR(a.r_tilde, 2 * 0.01 * 0.01 + 2 * 0.02 * 0.02 + 0.0, 1e-12);
+}
+
+TEST(Configuration, DotContainsComponentNames) {
+  const Tiny tiny;
+  std::vector<bool> sel(static_cast<std::size_t>(tiny.tmpl.num_candidate_edges()),
+                        true);
+  const std::string dot = Configuration(tiny.tmpl, sel).to_dot("tiny");
+  EXPECT_NE(dot.find("S1"), std::string::npos);
+  EXPECT_NE(dot.find("M2"), std::string::npos);
+  EXPECT_NE(dot.find("tiny"), std::string::npos);
+}
+
+TEST(Configuration, RejectsWrongSelectionSize) {
+  const Tiny tiny;
+  EXPECT_THROW(Configuration(tiny.tmpl, std::vector<bool>{true}),
+               PreconditionError);
+}
+
+// ---- base ILP -------------------------------------------------------------------
+
+TEST(ArchitectureIlp, MinimalSolveUsesCheapestChain) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const Configuration cfg = ilp.extract(res);
+  // Cheapest chain: S1 (10) + M1 (5) + 2 switches = 17.
+  EXPECT_DOUBLE_EQ(cfg.total_cost(), 17.0);
+  EXPECT_DOUBLE_EQ(res.objective, 17.0);
+  EXPECT_TRUE(cfg.selected_graph().connects(tiny.tmpl.sources(), tiny.t));
+}
+
+TEST(ArchitectureIlp, OutDegreeRuleEnforced) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  // Force S1 to feed both middles.
+  ilp.add_out_degree_rule(tiny.s1, {tiny.m1, tiny.m2}, 2, 2);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const Configuration cfg = ilp.extract(res);
+  EXPECT_TRUE(cfg.edge_selected(*tiny.tmpl.edge_index(tiny.s1, tiny.m1)));
+  EXPECT_TRUE(cfg.edge_selected(*tiny.tmpl.edge_index(tiny.s1, tiny.m2)));
+}
+
+TEST(ArchitectureIlp, ConditionalRuleForbidsUnfedFeeders) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const Configuration cfg = ilp.extract(res);
+  const graph::Digraph g = cfg.selected_graph();
+  for (NodeId m : {tiny.m1, tiny.m2}) {
+    if (!g.successors(m).empty()) {
+      EXPECT_FALSE(g.predecessors(m).empty())
+          << "middle feeds others but is unfed";
+    }
+  }
+}
+
+TEST(ArchitectureIlp, BalanceRuleLimitsLoadPerSource) {
+  // eq. (4) is local: a source's rating counts on every edge it powers, so
+  // it must be combined with an out-degree cap (as the EPS model does) to
+  // force one source per middle.
+  const Tiny tiny(/*supply=*/5.0, /*demand=*/5.0);
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  for (NodeId m : {tiny.m1, tiny.m2}) ilp.add_balance_rule(m);
+  for (NodeId s : {tiny.s1, tiny.s2}) {
+    ilp.add_out_degree_rule(s, {tiny.m1, tiny.m2}, 0, 1);
+  }
+  // Force both middles into the sink path.
+  ilp.add_in_degree_rule(tiny.t, {tiny.m1, tiny.m2}, 2, 2);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const Configuration cfg = ilp.extract(res);
+  // Each middle needs a 5-kW feed; with out-degree <= 1 per source, both
+  // sources must appear.
+  const auto used = cfg.used_nodes();
+  EXPECT_TRUE(used[static_cast<std::size_t>(tiny.s1)]);
+  EXPECT_TRUE(used[static_cast<std::size_t>(tiny.s2)]);
+}
+
+TEST(ArchitectureIlp, GlobalAdequacyForcesEnoughSources) {
+  // Sink demand 15 > single source supply 10: adequacy needs both sources.
+  const Tiny tiny(/*supply=*/10.0, /*demand=*/15.0);
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp.add_global_power_adequacy();
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const Configuration cfg = ilp.extract(res);
+  const auto used = cfg.used_nodes();
+  EXPECT_TRUE(used[static_cast<std::size_t>(tiny.s1)]);
+  EXPECT_TRUE(used[static_cast<std::size_t>(tiny.s2)]);
+}
+
+TEST(ArchitectureIlp, ExtractRequiresOptimal) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  ilp::IlpResult bogus;
+  bogus.status = ilp::IlpStatus::kInfeasible;
+  EXPECT_THROW((void)ilp.extract(bogus), PreconditionError);
+}
+
+// ---- reach encoder -----------------------------------------------------------
+
+TEST(ReachEncoder, UpperOnlyForcesRealPath) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ReachEncoder enc(ilp, ReachHonesty::kUpperOnly);
+  // Require two middles reach the sink within 2 hops (tie allowed).
+  ilp::LinExpr count;
+  count += *enc.walk_to(tiny.t, tiny.m1, 2);
+  count += *enc.walk_to(tiny.t, tiny.m2, 2);
+  ilp.model().add_row(std::move(count) >= 2.0);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const graph::Digraph g = ilp.extract(res).selected_graph();
+  // Both middles must genuinely reach the sink.
+  EXPECT_TRUE(g.reaching(tiny.t)[static_cast<std::size_t>(tiny.m1)]);
+  EXPECT_TRUE(g.reaching(tiny.t)[static_cast<std::size_t>(tiny.m2)]);
+}
+
+TEST(ReachEncoder, ImpossibleWalkReturnsNullopt) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  ReachEncoder enc(ilp);
+  // No candidate walk from the sink back to a source.
+  EXPECT_FALSE(enc.walk_to(tiny.s1, tiny.t, 4).has_value());
+  // Sources are trivially connected to themselves.
+  const auto v = enc.from_sources(tiny.s1, 3);
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(ReachEncoder, ExactModeTracksTruth) {
+  // Fix a concrete edge set; in kExact mode the indicator must equal true
+  // reachability in the solved model.
+  for (const bool use_tie : {false, true}) {
+    const Tiny tiny;
+    ArchitectureIlp ilp(tiny.tmpl);
+    // Select S1->M1, M1->T, optionally tie M1->M2; everything else off.
+    for (int k = 0; k < tiny.tmpl.num_candidate_edges(); ++k) {
+      const auto& e = tiny.tmpl.candidate_edge(k);
+      const bool on =
+          (e.from == tiny.s1 && e.to == tiny.m1) ||
+          (e.from == tiny.m1 && e.to == tiny.t) ||
+          (use_tie && e.from == tiny.m1 && e.to == tiny.m2);
+      ilp.model().fix(ilp.edge_var(k), on ? 1.0 : 0.0);
+    }
+    ReachEncoder enc(ilp, ReachHonesty::kExact);
+    const auto m2_to_sink = enc.walk_to(tiny.t, tiny.m2, 2);
+    const auto m2_from_src = enc.from_sources(tiny.m2, 2);
+    ASSERT_TRUE(m2_to_sink.has_value());
+    ASSERT_TRUE(m2_from_src.has_value());
+    ilp::BranchAndBoundSolver solver;
+    const auto res = solver.solve(ilp.model());
+    ASSERT_TRUE(res.optimal());
+    // With the tie M1->M2 selected, M2 is reachable from sources via
+    // S1->M1->M2 but M2 has no walk to the sink (tie is one-way here).
+    EXPECT_FALSE(res.value_bool(*m2_to_sink));
+    EXPECT_EQ(res.value_bool(*m2_from_src), use_tie);
+  }
+}
+
+// ---- ILP-MR -------------------------------------------------------------------
+
+TEST(IlpMr, AchievableTargetSucceeds) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions opt;
+  opt.target_failure = 5e-3;  // needs redundancy: single chain is ~0.03
+  const IlpMrReport rep = run_ilp_mr(ilp, solver, opt);
+  ASSERT_EQ(rep.status, SynthesisStatus::kSuccess);
+  ASSERT_TRUE(rep.configuration.has_value());
+  EXPECT_LE(rep.failure, opt.target_failure);
+  EXPECT_GE(rep.num_iterations(), 2);
+  // Iteration costs must be non-decreasing (constraints only accumulate).
+  for (std::size_t i = 1; i < rep.iterations.size(); ++i) {
+    EXPECT_GE(rep.iterations[i].cost, rep.iterations[i - 1].cost - 1e-9);
+  }
+}
+
+TEST(IlpMr, TrivialTargetStopsAtFirstIteration) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions opt;
+  opt.target_failure = 0.5;
+  const IlpMrReport rep = run_ilp_mr(ilp, solver, opt);
+  ASSERT_EQ(rep.status, SynthesisStatus::kSuccess);
+  EXPECT_EQ(rep.num_iterations(), 1);
+  EXPECT_DOUBLE_EQ(rep.configuration->total_cost(), 17.0);
+}
+
+TEST(IlpMr, ImpossibleTargetIsUnfeasible) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions opt;
+  opt.target_failure = 1e-9;  // best possible is ~ 2*(0.02)^2 ≈ 8e-4
+  const IlpMrReport rep = run_ilp_mr(ilp, solver, opt);
+  EXPECT_EQ(rep.status, SynthesisStatus::kUnfeasible);
+}
+
+TEST(IlpMr, LazyStrategyNeedsAtLeastAsManyIterations) {
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions fast;
+  fast.target_failure = 5e-3;
+  IlpMrOptions lazy = fast;
+  lazy.lazy_strategy = true;
+
+  const Tiny tiny;
+  ArchitectureIlp ilp_fast(tiny.tmpl);
+  tiny.base_rules(ilp_fast);
+  const IlpMrReport rep_fast = run_ilp_mr(ilp_fast, solver, fast);
+
+  ArchitectureIlp ilp_lazy(tiny.tmpl);
+  tiny.base_rules(ilp_lazy);
+  const IlpMrReport rep_lazy = run_ilp_mr(ilp_lazy, solver, lazy);
+
+  ASSERT_EQ(rep_fast.status, SynthesisStatus::kSuccess);
+  ASSERT_EQ(rep_lazy.status, SynthesisStatus::kSuccess);
+  EXPECT_GE(rep_lazy.num_iterations(), rep_fast.num_iterations());
+  EXPECT_LE(rep_lazy.failure, lazy.target_failure);
+}
+
+TEST(IlpMr, ValidatesOptions) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions opt;
+  opt.target_failure = 0.0;
+  EXPECT_THROW((void)run_ilp_mr(ilp, solver, opt), PreconditionError);
+  opt.target_failure = 1e-3;
+  opt.max_iterations = 0;
+  EXPECT_THROW((void)run_ilp_mr(ilp, solver, opt), PreconditionError);
+}
+
+// ---- ILP-AR -------------------------------------------------------------------
+
+TEST(IlpAr, AchievableTargetSucceedsAndSatisfiesAlgebra) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpArOptions opt;
+  opt.target_failure = 5e-3;
+  const IlpArReport rep = run_ilp_ar(ilp, solver, opt);
+  ASSERT_EQ(rep.status, SynthesisStatus::kSuccess);
+  EXPECT_LE(rep.approx_failure, opt.target_failure * (1 + 1e-9));
+  EXPECT_GT(rep.num_constraints, 0);
+}
+
+TEST(IlpAr, ImpossibleTargetIsUnfeasible) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpArOptions opt;
+  opt.target_failure = 1e-9;
+  EXPECT_EQ(run_ilp_ar(ilp, solver, opt).status,
+            SynthesisStatus::kUnfeasible);
+}
+
+TEST(IlpAr, MatchesBruteForceOptimum) {
+  // Enumerate all 2^10 configurations; the ILP-AR optimum must equal the
+  // cheapest configuration that (a) satisfies the base interconnection
+  // rules and (b) meets the approximate-algebra requirement.
+  const Tiny tiny;
+  const int ne = tiny.tmpl.num_candidate_edges();
+  ASSERT_LE(ne, 16);
+  const double target = 5e-3;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (unsigned mask = 0; mask < (1u << ne); ++mask) {
+    std::vector<bool> sel(static_cast<std::size_t>(ne));
+    for (int k = 0; k < ne; ++k) sel[static_cast<std::size_t>(k)] = (mask >> k) & 1u;
+    const Configuration cfg(tiny.tmpl, sel);
+    const graph::Digraph g = cfg.selected_graph();
+    // Base rules: sink fed; any middle that feeds must be fed.
+    if (g.predecessors(tiny.t).empty()) continue;
+    bool legal = true;
+    for (NodeId m : {tiny.m1, tiny.m2}) {
+      if (!g.successors(m).empty()) {
+        bool fed_by_source = false;
+        for (NodeId p : g.predecessors(m)) {
+          if (p == tiny.s1 || p == tiny.s2) fed_by_source = true;
+        }
+        if (!fed_by_source) legal = false;
+      }
+    }
+    if (!legal) continue;
+    if (cfg.worst_approximate_failure() > target) continue;
+    best = std::min(best, cfg.total_cost());
+  }
+  ASSERT_TRUE(std::isfinite(best));
+
+  ArchitectureIlp ilp(tiny.tmpl);
+  tiny.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpArOptions opt;
+  opt.target_failure = target;
+  const IlpArReport rep = run_ilp_ar(ilp, solver, opt);
+  ASSERT_EQ(rep.status, SynthesisStatus::kSuccess);
+  EXPECT_NEAR(rep.configuration->total_cost(), best, 1e-6);
+}
+
+TEST(IlpAr, ValidatesOptions) {
+  const Tiny tiny;
+  ArchitectureIlp ilp(tiny.tmpl);
+  IlpArOptions opt;
+  opt.target_failure = 1.5;
+  EXPECT_THROW((void)encode_ilp_ar(ilp, opt), PreconditionError);
+}
+
+}  // namespace
+}  // namespace archex::core

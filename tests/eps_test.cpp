@@ -1,0 +1,191 @@
+// Tests for the aircraft EPS case study (Section V): template generation,
+// Table-I attributes, base-ILP minimal architectures, and both synthesis
+// algorithms end-to-end on the 11-node instance.
+#include <gtest/gtest.h>
+
+#include "core/ilp_ar.hpp"
+#include "core/ilp_mr.hpp"
+#include "eps/eps_library.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/solver.hpp"
+
+namespace archex::eps {
+namespace {
+
+TEST(EpsLibrary, TableOneAttributes) {
+  const EpsLibrary lib;
+  const core::Component lg1 = lib.generator("LG1", 70.0);
+  EXPECT_DOUBLE_EQ(lg1.cost, 7000.0);  // c = g/10 with g in watts
+  EXPECT_DOUBLE_EQ(lg1.power_supply, 70.0);
+  EXPECT_DOUBLE_EQ(lg1.failure_prob, 2e-4);
+  EXPECT_DOUBLE_EQ(lib.ac_bus("B").cost, 2000.0);
+  EXPECT_DOUBLE_EQ(lib.rectifier("R").cost, 2000.0);
+  EXPECT_DOUBLE_EQ(lib.load("L", 30.0).cost, 0.0);
+  EXPECT_DOUBLE_EQ(lib.load("L", 30.0).failure_prob, 0.0);
+  EXPECT_DOUBLE_EQ(lib.load("L", 30.0).power_demand, 30.0);
+}
+
+TEST(EpsTemplate, NodeCountsScaleWithGenerators) {
+  for (int g : {2, 4, 6}) {
+    EpsSpec spec;
+    spec.num_generators = g;
+    const EpsTemplate eps = make_eps_template(spec);
+    EXPECT_EQ(eps.tmpl.num_components(), 5 * g + 1) << "g=" << g;
+    EXPECT_EQ(static_cast<int>(eps.generators.size()), g);
+    EXPECT_EQ(static_cast<int>(eps.loads.size()), g);
+    EXPECT_EQ(eps.tmpl.num_types(), kNumEpsTypes);
+    EXPECT_EQ(eps.tmpl.sources().size(), static_cast<std::size_t>(g) + 1);
+    EXPECT_EQ(eps.tmpl.sinks(), eps.loads);
+  }
+}
+
+TEST(EpsTemplate, NoApuVariant) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  spec.include_apu = false;
+  const EpsTemplate eps = make_eps_template(spec);
+  EXPECT_EQ(eps.apu, -1);
+  EXPECT_EQ(eps.tmpl.num_components(), 10);
+  EXPECT_EQ(eps.sources().size(), 2u);
+}
+
+TEST(EpsTemplate, SideNamingMatchesFigure1c) {
+  EpsSpec spec;
+  spec.num_generators = 4;
+  const EpsTemplate eps = make_eps_template(spec);
+  EXPECT_EQ(eps.tmpl.component(eps.generators[0]).name, "LG1");
+  EXPECT_EQ(eps.tmpl.component(eps.generators[1]).name, "LG2");
+  EXPECT_EQ(eps.tmpl.component(eps.generators[2]).name, "RG1");
+  EXPECT_EQ(eps.tmpl.component(eps.generators[3]).name, "RG2");
+  EXPECT_EQ(eps.tmpl.component(eps.loads[0]).name, "LL1");
+}
+
+TEST(EpsTemplate, CandidateEdgesFollowCompositionRules) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  // gens+APU -> AC buses: 3*2; AC ties: 2; AC->R: 4; R->DC: 4; DC ties: 2;
+  // DC->loads: 4.
+  EXPECT_EQ(eps.tmpl.num_candidate_edges(), 6 + 2 + 4 + 4 + 2 + 4);
+  // No illegal edge classes, e.g. generator -> rectifier.
+  EXPECT_FALSE(
+      eps.tmpl.edge_index(eps.generators[0], eps.rectifiers[0]).has_value());
+  EXPECT_FALSE(
+      eps.tmpl.edge_index(eps.ac_buses[0], eps.dc_buses[0]).has_value());
+}
+
+TEST(EpsBaseIlp, MinimalArchitectureMatchesHandComputation) {
+  // g=2: cheapest source covering the 40-kW demand is RG1 (50 kW, 5000);
+  // chain RG1->B->R->D->{LL1,RL1} adds bus+rectifier+DC bus (3 x 2000) and
+  // five contactors (5 x 1000): total 16000.
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  EXPECT_DOUBLE_EQ(res.objective, 16000.0);
+  const core::Configuration cfg = ilp.extract(res);
+  EXPECT_DOUBLE_EQ(cfg.total_cost(), 16000.0);
+  // Single-path architecture: failure ~= p_G + p_B + p_R + p_D = 8e-4
+  // (the paper's rho).
+  const double r = cfg.worst_failure_probability();
+  EXPECT_GT(r, 7.9e-4);
+  EXPECT_LT(r, 8.0e-4);
+}
+
+TEST(EpsBaseIlp, EveryLoadFedByExactlyOneDcBus) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const auto g = ilp.extract(res).selected_graph();
+  for (graph::NodeId l : eps.loads) {
+    EXPECT_EQ(g.predecessors(l).size(), 1u);
+  }
+}
+
+TEST(EpsIlpMr, ReachesModerateTarget) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  ilp::BranchAndBoundSolver solver;
+  core::IlpMrOptions opt;
+  opt.target_failure = 1e-6;
+  const core::IlpMrReport rep = core::run_ilp_mr(ilp, solver, opt);
+  ASSERT_EQ(rep.status, core::SynthesisStatus::kSuccess);
+  EXPECT_LE(rep.failure, 1e-6);
+  EXPECT_GE(rep.num_iterations(), 2);
+  // Redundancy was added relative to the minimal architecture.
+  EXPECT_GT(rep.configuration->total_cost(), 16000.0);
+}
+
+TEST(EpsIlpMr, UnreachableTargetIsUnfeasible) {
+  // With only two of each mid-layer type the best worst-sink failure is
+  // ~2.8e-7; 1e-8 cannot be met by this template.
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  ilp::BranchAndBoundSolver solver;
+  core::IlpMrOptions opt;
+  opt.target_failure = 1e-8;
+  EXPECT_EQ(core::run_ilp_mr(ilp, solver, opt).status,
+            core::SynthesisStatus::kUnfeasible);
+}
+
+TEST(EpsIlpAr, AgreesWithIlpMrOnCost) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  ilp::BranchAndBoundSolver solver;
+
+  core::ArchitectureIlp ilp_mr = make_eps_ilp(eps);
+  core::IlpMrOptions mr_opt;
+  mr_opt.target_failure = 1e-6;
+  const auto mr = core::run_ilp_mr(ilp_mr, solver, mr_opt);
+
+  core::ArchitectureIlp ilp_ar = make_eps_ilp(eps);
+  core::IlpArOptions ar_opt;
+  ar_opt.target_failure = 1e-6;
+  const auto ar = core::run_ilp_ar(ilp_ar, solver, ar_opt);
+
+  ASSERT_EQ(mr.status, core::SynthesisStatus::kSuccess);
+  ASSERT_EQ(ar.status, core::SynthesisStatus::kSuccess);
+  // Both meet the requirement under their own criteria...
+  EXPECT_LE(mr.failure, 1e-6);
+  EXPECT_LE(ar.approx_failure, 1e-6 * (1 + 1e-9));
+  // ... and on this instance both find the same optimal cost.
+  EXPECT_DOUBLE_EQ(mr.configuration->total_cost(),
+                   ar.configuration->total_cost());
+  // The algebra is optimistic but within the same order of magnitude.
+  EXPECT_LE(ar.approx_failure, ar.exact_failure * 2.0);
+  EXPECT_GE(ar.approx_failure, ar.exact_failure * 0.1);
+}
+
+TEST(EpsIlpAr, TightTargetAddsRedundancyAndCost) {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  const EpsTemplate eps = make_eps_template(spec);
+  ilp::BranchAndBoundSolver solver;
+
+  double previous_cost = 0.0;
+  for (const double target : {2e-3, 1e-6}) {
+    core::ArchitectureIlp ilp = make_eps_ilp(eps);
+    core::IlpArOptions opt;
+    opt.target_failure = target;
+    const auto rep = core::run_ilp_ar(ilp, solver, opt);
+    ASSERT_EQ(rep.status, core::SynthesisStatus::kSuccess) << target;
+    EXPECT_GE(rep.configuration->total_cost(), previous_cost);
+    previous_cost = rep.configuration->total_cost();
+  }
+  EXPECT_GT(previous_cost, 16000.0);
+}
+
+}  // namespace
+}  // namespace archex::eps

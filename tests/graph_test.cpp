@@ -1,0 +1,243 @@
+// Tests for archex::graph: digraph, reachability, Boolean matrices and the
+// walk-indicator of Lemma 1 (cross-checked against BFS), partitions, path
+// enumeration, path reduction, and the same-type shorthand expansion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bool_matrix.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "graph/partition.hpp"
+#include "graph/paths.hpp"
+#include "support/rng.hpp"
+
+namespace archex::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> {1, 2} -> 3
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Digraph, BasicAccessors) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.predecessors(3).size(), 2u);
+}
+
+TEST(Digraph, RejectsSelfLoopsAndDuplicates) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), PreconditionError);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 5), PreconditionError);
+}
+
+TEST(Digraph, Reachability) {
+  const Digraph g = diamond();
+  const auto fwd = g.reachable_from(0);
+  EXPECT_TRUE(fwd[0] && fwd[1] && fwd[2] && fwd[3]);
+  const auto back = g.reaching(3);
+  EXPECT_TRUE(back[0] && back[1] && back[2] && back[3]);
+  const auto from1 = g.reachable_from(1);
+  EXPECT_FALSE(from1[2]);
+}
+
+TEST(Digraph, Connects) {
+  const Digraph g = diamond();
+  EXPECT_TRUE(g.connects({0}, 3));
+  EXPECT_FALSE(g.connects({3}, 0));
+  EXPECT_FALSE(g.connects({}, 0));
+}
+
+TEST(BoolMatrix, AdjacencyAndProduct) {
+  const Digraph g = diamond();
+  const BoolMatrix e = BoolMatrix::adjacency(g);
+  EXPECT_TRUE(e.get(0, 1));
+  EXPECT_FALSE(e.get(0, 3));
+  const BoolMatrix e2 = logical_product(e, e);
+  EXPECT_TRUE(e2.get(0, 3));   // length-2 walk 0->1->3
+  EXPECT_FALSE(e2.get(0, 1));  // no length-2 walk 0->..->1
+}
+
+TEST(BoolMatrix, WalkIndicatorDiamond) {
+  const Digraph g = diamond();
+  const BoolMatrix eta = walk_indicator(g, 2);
+  EXPECT_TRUE(eta.get(0, 1));
+  EXPECT_TRUE(eta.get(0, 3));
+  EXPECT_FALSE(eta.get(1, 2));
+  EXPECT_FALSE(eta.get(3, 0));
+}
+
+// Property: η_{n-1} (n nodes) must agree with BFS reachability, since any
+// reachable node is reachable by a walk of length <= n-1.
+class WalkIndicatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalkIndicatorProperty, MatchesBfsReachability) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const int n = 4 + static_cast<int>(rng.next_below(6));
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.next_bernoulli(0.3)) g.add_edge(u, v);
+    }
+  }
+  const BoolMatrix eta = walk_indicator(g, n - 1);
+  for (int u = 0; u < n; ++u) {
+    const auto reach = g.reachable_from(u);
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;  // η ignores the trivial empty walk
+      EXPECT_EQ(eta.get(u, v), reach[static_cast<std::size_t>(v)])
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkIndicatorProperty, ::testing::Range(0, 20));
+
+TEST(Partition, GroupsAndTypes) {
+  const Partition p({0, 1, 1, 2});
+  EXPECT_EQ(p.num_types(), 3);
+  EXPECT_EQ(p.type_of(2), 1);
+  EXPECT_EQ(p.members(1).size(), 2u);
+  EXPECT_TRUE(p.same_type(1, 2));
+  EXPECT_FALSE(p.same_type(0, 3));
+}
+
+TEST(Partition, RejectsEmptySubsets) {
+  // Type 1 missing while type 2 is used -> empty subset -> invalid.
+  EXPECT_THROW(Partition({0, 2}), PreconditionError);
+  EXPECT_THROW(Partition({-1}), PreconditionError);
+}
+
+TEST(Paths, DiamondHasTwoPaths) {
+  const Digraph g = diamond();
+  const auto paths = enumerate_simple_paths(g, {0}, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+    EXPECT_EQ(p.size(), 3u);
+  }
+}
+
+TEST(Paths, MultipleSources) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const auto paths = enumerate_simple_paths(g, {0, 1}, 2);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(Paths, SourceEqualsSink) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const auto paths = enumerate_simple_paths(g, {1}, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], Path{1});
+}
+
+TEST(Paths, CapThrows) {
+  // Complete bipartite-ish graph with many paths and a tiny cap.
+  Digraph g(6);
+  for (int a : {1, 2}) {
+    g.add_edge(0, a);
+    for (int b : {3, 4}) g.add_edge(a, b);
+  }
+  g.add_edge(3, 5);
+  g.add_edge(4, 5);
+  EXPECT_THROW(enumerate_simple_paths(g, {0}, 5, 2), Error);
+}
+
+TEST(Paths, FunctionalLinkUsesSourceType) {
+  const Digraph g = diamond();
+  const Partition p({0, 1, 1, 2});
+  const auto link = functional_link(g, p, 3);
+  EXPECT_EQ(link.size(), 2u);
+}
+
+TEST(Paths, ReducePathCollapsesAdjacentSameType) {
+  const Partition p({0, 1, 1, 2});
+  // Path 0 -> 1 -> 2 -> 3 where 1 and 2 share a type: reduced keeps node 1.
+  const Path reduced = reduce_path({0, 1, 2, 3}, p);
+  EXPECT_EQ(reduced, (Path{0, 1, 3}));
+}
+
+TEST(Paths, ReducedPathsDeduplicate) {
+  const Partition p({0, 1, 1, 2});
+  const std::vector<Path> raw{{0, 1, 3}, {0, 1, 2, 3}, {0, 2, 3}};
+  const auto reduced = reduced_paths(raw, p);
+  // {0,1,3} and {0,1,2,3} reduce to the same path; {0,2,3} stays distinct.
+  EXPECT_EQ(reduced.size(), 2u);
+}
+
+TEST(Expansion, SameTypeEdgeSharesNeighbors) {
+  // src -> a, a -- b (same type), b -> dst. After expansion both a and b
+  // must connect src to dst and the intra-type edge must be gone.
+  Digraph g(4);
+  const Partition p({0, 1, 1, 2});
+  g.add_edge(0, 1);  // src -> a
+  g.add_edge(1, 2);  // a -> b (same type: shorthand)
+  g.add_edge(2, 3);  // b -> dst
+  const Digraph x = expand_same_type_shorthand(g, p);
+  EXPECT_TRUE(x.has_edge(0, 1));
+  EXPECT_TRUE(x.has_edge(0, 2));
+  EXPECT_TRUE(x.has_edge(1, 3));
+  EXPECT_TRUE(x.has_edge(2, 3));
+  EXPECT_FALSE(x.has_edge(1, 2));
+  // Two disjoint redundant paths now exist.
+  EXPECT_EQ(enumerate_simple_paths(x, {0}, 3).size(), 2u);
+}
+
+TEST(Expansion, TransitiveGroups) {
+  // Three same-type nodes chained: all three become parallel.
+  Digraph g(5);
+  const Partition p({0, 1, 1, 1, 2});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Digraph x = expand_same_type_shorthand(g, p);
+  for (int mid : {1, 2, 3}) {
+    EXPECT_TRUE(x.has_edge(0, mid)) << mid;
+    EXPECT_TRUE(x.has_edge(mid, 4)) << mid;
+  }
+  EXPECT_EQ(enumerate_simple_paths(x, {0}, 4).size(), 3u);
+}
+
+TEST(Expansion, NoShorthandIsIdentity) {
+  const Digraph g = diamond();
+  const Partition p({0, 1, 1, 2});
+  const Digraph x = expand_same_type_shorthand(g, p);
+  EXPECT_EQ(x.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) EXPECT_TRUE(x.has_edge(u, v));
+}
+
+TEST(Dot, EmitsNodesEdgesAndClusters) {
+  const Digraph g = diamond();
+  const Partition p({0, 1, 1, 2});
+  DotStyle style;
+  style.node_labels = {"G1", "B1", "B2", "L1"};
+  style.type_labels = {"generators", "buses", "loads"};
+  style.title = "demo";
+  const std::string dot = to_dot(g, p, style);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("G1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_t1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"demo\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex::graph

@@ -1,0 +1,252 @@
+// Integration and property tests across the whole stack: template ->
+// base ILP -> synthesis -> exact reliability, on randomized layered
+// templates and on a non-EPS sensor-network domain. These are the
+// "does the whole pipeline keep its promises" tests:
+//
+//  * soundness — whatever ILP-MR/ILP-AR return satisfies the requirement
+//    under the *exact* analyzer;
+//  * encoder equivalence — flow vs walk-indicator ADDPATH lowerings reach
+//    requirement-satisfying architectures on the same instances;
+//  * UNFEASIBLE honesty — when the algorithms give up, the maximally
+//    redundant configuration indeed misses the requirement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/arch_ilp.hpp"
+#include "core/flow_encoder.hpp"
+#include "core/ilp_ar.hpp"
+#include "core/ilp_mr.hpp"
+#include "ilp/solver.hpp"
+#include "support/rng.hpp"
+
+namespace archex::core {
+namespace {
+
+using graph::NodeId;
+using graph::TypeId;
+
+/// Random layered template: `layers` types with 1..3 members each, dense
+/// forward candidates, tie candidates inside middle layers, random costs.
+struct RandomTemplate {
+  Template tmpl;
+  std::vector<std::vector<NodeId>> layer;
+
+  explicit RandomTemplate(Rng& rng, int layers) {
+    layer.resize(static_cast<std::size_t>(layers));
+    for (int l = 0; l < layers; ++l) {
+      const int width = 1 + static_cast<int>(rng.next_below(3));
+      for (int k = 0; k < width; ++k) {
+        Component c;
+        c.name = "n" + std::to_string(l) + "_" + std::to_string(k);
+        c.type = l;
+        c.cost = 10.0 + std::floor(rng.next_double() * 90.0);
+        c.failure_prob = (l == layers - 1) ? 0.0 : 0.01;
+        layer[static_cast<std::size_t>(l)].push_back(
+            tmpl.add_component(c));
+      }
+    }
+    for (int l = 0; l + 1 < layers; ++l) {
+      for (NodeId a : layer[static_cast<std::size_t>(l)]) {
+        for (NodeId b : layer[static_cast<std::size_t>(l + 1)]) {
+          tmpl.add_candidate_edge(a, b, 2.0);
+        }
+      }
+      // Ties within middle layers (bidirectional).
+      if (l > 0 && layer[static_cast<std::size_t>(l)].size() >= 2) {
+        const auto& ns = layer[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i + 1 < ns.size(); ++i) {
+          tmpl.add_candidate_edge(ns[i], ns[i + 1], 2.0);
+          tmpl.add_candidate_edge(ns[i + 1], ns[i], 2.0);
+        }
+      }
+    }
+  }
+
+  void base_rules(ArchitectureIlp& ilp) const {
+    ilp.require_all_sinks_fed();
+    // Any node that feeds forward must itself be fed by the previous layer.
+    for (std::size_t l = 1; l + 1 < layer.size(); ++l) {
+      for (NodeId mid : layer[l]) {
+        std::vector<NodeId> targets = layer[l + 1];
+        targets.insert(targets.end(), layer[l].begin(), layer[l].end());
+        ilp.add_conditional_predecessor_rule(targets, mid, layer[l - 1]);
+      }
+    }
+  }
+};
+
+class SynthesisSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisSoundness, IlpMrResultsSatisfyExactRequirement) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40961 + 7);
+  const RandomTemplate rt(rng, 3 + static_cast<int>(rng.next_below(2)));
+  const double target = 5e-3;
+
+  ArchitectureIlp ilp(rt.tmpl);
+  rt.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpMrOptions opt;
+  opt.target_failure = target;
+  const IlpMrReport rep = run_ilp_mr(ilp, solver, opt);
+
+  if (rep.status == SynthesisStatus::kSuccess) {
+    ASSERT_TRUE(rep.configuration.has_value());
+    // The promise: exact failure below target, on every sink.
+    EXPECT_LE(rep.configuration->worst_failure_probability(), target);
+    // And the report agrees with an independent recomputation.
+    EXPECT_NEAR(rep.failure,
+                rep.configuration->worst_failure_probability(), 1e-15);
+  } else {
+    EXPECT_EQ(rep.status, SynthesisStatus::kUnfeasible);
+    // Honesty check: even the everything-selected configuration fails.
+    std::vector<bool> all(
+        static_cast<std::size_t>(rt.tmpl.num_candidate_edges()), true);
+    const Configuration maxed(rt.tmpl, all);
+    EXPECT_GT(maxed.worst_failure_probability(), target);
+  }
+}
+
+TEST_P(SynthesisSoundness, IlpArResultsSatisfyAlgebraRequirement) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const RandomTemplate rt(rng, 3);
+  const double target = 5e-3;
+
+  ArchitectureIlp ilp(rt.tmpl);
+  rt.base_rules(ilp);
+  ilp::BranchAndBoundSolver solver;
+  IlpArOptions opt;
+  opt.target_failure = target;
+  const IlpArReport rep = run_ilp_ar(ilp, solver, opt);
+
+  if (rep.status == SynthesisStatus::kSuccess) {
+    ASSERT_TRUE(rep.configuration.has_value());
+    EXPECT_LE(rep.approx_failure, target * (1 + 1e-9));
+    // The algebra value in the report is recomputable from the config.
+    EXPECT_NEAR(rep.approx_failure,
+                rep.configuration->worst_approximate_failure(), 1e-15);
+  } else {
+    EXPECT_EQ(rep.status, SynthesisStatus::kUnfeasible);
+    std::vector<bool> all(
+        static_cast<std::size_t>(rt.tmpl.num_candidate_edges()), true);
+    const Configuration maxed(rt.tmpl, all);
+    EXPECT_GT(maxed.worst_approximate_failure(), target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisSoundness, ::testing::Range(0, 12));
+
+// ---- a fixed three-layer template for deterministic expectations -------------
+
+struct Fixed {
+  Template tmpl;
+  NodeId s1, s2, m1, m2, t;
+
+  Fixed() {
+    s1 = tmpl.add_component({"S1", 0, 10.0, 0.01, 0.0, 0.0});
+    s2 = tmpl.add_component({"S2", 0, 12.0, 0.01, 0.0, 0.0});
+    m1 = tmpl.add_component({"M1", 1, 5.0, 0.02, 0.0, 0.0});
+    m2 = tmpl.add_component({"M2", 1, 6.0, 0.02, 0.0, 0.0});
+    t = tmpl.add_component({"T", 2, 0.0, 0.0, 0.0, 0.0});
+    for (NodeId s : {s1, s2}) {
+      for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(s, m, 1.0);
+    }
+    tmpl.add_candidate_edge(m1, m2, 1.0);
+    tmpl.add_candidate_edge(m2, m1, 1.0);
+    for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(m, t, 1.0);
+  }
+
+  void base_rules(ArchitectureIlp& ilp) const {
+    ilp.require_all_sinks_fed();
+    for (NodeId m : {m1, m2}) {
+      ilp.add_conditional_predecessor_rule({t, m1, m2}, m, {s1, s2});
+    }
+  }
+};
+
+// ---- encoder equivalence -------------------------------------------------------
+
+TEST(EncoderEquivalence, FlowAndWalkIndicatorBothMeetTarget) {
+  const Fixed fx;
+  const double target = 5e-3;  // needs redundancy; achievable (~8e-4 max)
+  ilp::BranchAndBoundSolver solver;
+
+  for (const auto enc :
+       {PathEncoding::kFlow, PathEncoding::kWalkIndicator}) {
+    ArchitectureIlp ilp(fx.tmpl);
+    fx.base_rules(ilp);
+    IlpMrOptions opt;
+    opt.target_failure = target;
+    opt.encoding = enc;
+    const IlpMrReport rep = run_ilp_mr(ilp, solver, opt);
+    ASSERT_EQ(rep.status, SynthesisStatus::kSuccess)
+        << "encoding " << static_cast<int>(enc);
+    EXPECT_LE(rep.failure, target);
+    EXPECT_LE(rep.configuration->worst_failure_probability(), target);
+  }
+}
+
+// ---- flow encoder unit behavior -----------------------------------------------
+
+TEST(FlowEncoder, ForcesConnectedMembers) {
+  const Fixed fx;
+  ArchitectureIlp ilp(fx.tmpl);
+  fx.base_rules(ilp);
+  FlowEncoder enc(ilp);
+  enc.require_connected_members(fx.t, 0, 2);  // both sources
+
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(ilp.model());
+  ASSERT_TRUE(res.optimal());
+  const graph::Digraph g = ilp.extract(res).selected_graph();
+  const auto up = g.reaching(fx.t);
+  EXPECT_TRUE(up[static_cast<std::size_t>(fx.s1)]);
+  EXPECT_TRUE(up[static_cast<std::size_t>(fx.s2)]);
+}
+
+TEST(FlowEncoder, ValidatesArguments) {
+  const Fixed fx;
+  ArchitectureIlp ilp(fx.tmpl);
+  FlowEncoder enc(ilp);
+  EXPECT_THROW(enc.require_connected_members(fx.t, 0, 0), PreconditionError);
+  EXPECT_THROW(enc.require_connected_members(fx.t, 99, 1), PreconditionError);
+  EXPECT_THROW(enc.require_connected_members(fx.t, 0, 100),
+               PreconditionError);
+}
+
+TEST(FlowEncoder, RepeatedRequirementsReuseCommodity) {
+  const Fixed fx;
+  ArchitectureIlp ilp(fx.tmpl);
+  FlowEncoder enc(ilp);
+  enc.require_connected_members(fx.t, 0, 1);
+  const int vars_after_first = ilp.model().num_variables();
+  const int rows_after_first = ilp.model().num_rows();
+  enc.require_connected_members(fx.t, 0, 2);  // only one new row
+  EXPECT_EQ(ilp.model().num_variables(), vars_after_first);
+  EXPECT_EQ(ilp.model().num_rows(), rows_after_first + 1);
+}
+
+// ---- accept_incumbent behavior --------------------------------------------------
+
+TEST(AcceptIncumbent, StrictModeReportsSolverFailureOnTinyLimits) {
+  Rng rng(11);
+  const RandomTemplate rt(rng, 4);
+  ArchitectureIlp ilp(rt.tmpl);
+  rt.base_rules(ilp);
+  ilp::BranchAndBoundOptions bopt;
+  bopt.max_nodes = 1;  // guarantee the proof cannot finish
+  bopt.root_rounding_heuristic = false;
+  ilp::BranchAndBoundSolver solver(bopt);
+  IlpMrOptions opt;
+  opt.target_failure = 1e-4;
+  const IlpMrReport strict = run_ilp_mr(ilp, solver, opt);
+  // Either the root LP was already integral (fine) or the limit tripped.
+  if (strict.status != SynthesisStatus::kSuccess &&
+      strict.status != SynthesisStatus::kUnfeasible) {
+    EXPECT_EQ(strict.status, SynthesisStatus::kSolverFailure);
+  }
+}
+
+}  // namespace
+}  // namespace archex::core

@@ -1,0 +1,228 @@
+// Unit and property tests for the bounded-variable simplex (archex::lp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace archex::lp {
+namespace {
+
+TEST(Problem, MergesDuplicateTerms) {
+  Problem p;
+  const int x = p.add_variable(0, 10);
+  p.add_constraint({{x, 1.0}, {x, 2.0}}, 0, 6);
+  ASSERT_EQ(p.row(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(p.row(0)[0].coef, 3.0);
+}
+
+TEST(Problem, DropsCancelledTerms) {
+  Problem p;
+  const int x = p.add_variable(0, 10);
+  const int y = p.add_variable(0, 10);
+  p.add_constraint({{x, 1.0}, {x, -1.0}, {y, 2.0}}, 0, 6);
+  ASSERT_EQ(p.row(0).size(), 1u);
+  EXPECT_EQ(p.row(0)[0].var, y);
+}
+
+TEST(Problem, FeasibilityCheck) {
+  Problem p;
+  const int x = p.add_variable(0, 1);
+  p.add_constraint({{x, 1.0}}, 0.5, 1.0);
+  EXPECT_TRUE(p.is_feasible({0.7}));
+  EXPECT_FALSE(p.is_feasible({0.2}));
+  EXPECT_FALSE(p.is_feasible({1.4}));
+  EXPECT_FALSE(p.is_feasible({}));
+}
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig).
+  // As minimization: min -3x - 5y. Optimum (2, 6), objective -36.
+  Problem p;
+  const int x = p.add_variable(0, kInf, -3.0);
+  const int y = p.add_variable(0, kInf, -5.0);
+  p.add_constraint({{x, 1.0}}, -kInf, 4.0);
+  p.add_constraint({{y, 2.0}}, -kInf, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, -kInf, 18.0);
+
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityRow) {
+  // min x + y  s.t. x + y = 5, x <= 3, y <= 4  -> objective 5.
+  Problem p;
+  const int x = p.add_variable(0, 3, 1.0);
+  const int y = p.add_variable(0, 4, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, 5.0, 5.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+  EXPECT_NEAR(s.x[0] + s.x[1], 5.0, 1e-8);
+}
+
+TEST(Simplex, RangeRow) {
+  // min x  s.t. 2 <= x + y <= 3, 0 <= x,y <= 5.  Optimum x = 0.
+  Problem p;
+  const int x = p.add_variable(0, 5, 1.0);
+  const int y = p.add_variable(0, 5, 0.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, 2.0, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-8);
+  const double act = s.x[0] + s.x[1];
+  EXPECT_GE(act, 2.0 - 1e-8);
+  EXPECT_LE(act, 3.0 + 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p;
+  const int x = p.add_variable(0, 1, 1.0);
+  p.add_constraint({{x, 1.0}}, 2.0, 3.0);  // x in [0,1] can't reach 2
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, InfeasibleConflictingRows) {
+  Problem p;
+  const int x = p.add_variable(-10, 10, 0.0);
+  const int y = p.add_variable(-10, 10, 0.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, 5.0, kInf);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, -kInf, 3.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p;
+  (void)p.add_variable(0, kInf, -1.0);  // min -x, x unbounded above
+  const int y = p.add_variable(0, 5, 0.0);
+  p.add_constraint({{y, 1.0}}, -kInf, 4.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NoRowsBoundsOnly) {
+  Problem p;
+  (void)p.add_variable(-2, 7, 1.0);
+  (void)p.add_variable(-4, 3, -2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, -8.0, 1e-9);
+}
+
+TEST(Simplex, NoRowsUnbounded) {
+  Problem p;
+  p.add_variable(0, kInf, -1.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x subject to x >= y - 2, y = 3, x free  ->  x = 1.
+  Problem p;
+  const int x = p.add_variable(-kInf, kInf, 1.0);
+  const int y = p.add_variable(0, 10, 0.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, -2.0, kInf);
+  p.add_constraint({{y, 1.0}}, 3.0, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-7);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y  s.t. x + 2y >= -4, x,y in [-3, 3].  Optimum ties along the
+  // constraint; objective value is what matters: x=-3 -> 2y >= -1, y=-0.5,
+  // objective -3.5.
+  Problem p;
+  const int x = p.add_variable(-3, 3, 1.0);
+  const int y = p.add_variable(-3, 3, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, -4.0, kInf);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.5, 1e-7);
+  EXPECT_TRUE(p.is_feasible(s.x));
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Beale's classic cycling example (with Dantzig pricing this cycles
+  // without anti-cycling safeguards).
+  Problem p;
+  const int x1 = p.add_variable(0, kInf, -0.75);
+  const int x2 = p.add_variable(0, kInf, 150.0);
+  const int x3 = p.add_variable(0, kInf, -0.02);
+  const int x4 = p.add_variable(0, kInf, 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, -kInf, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, -kInf, 0.0);
+  p.add_constraint({{x3, 1.0}}, -kInf, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-7);
+}
+
+TEST(Simplex, SnapsBinaryRelaxationBounds) {
+  // Relaxation of a binary model should return values inside [0,1].
+  Problem p;
+  const int a = p.add_variable(0, 1, 1.0);
+  const int b = p.add_variable(0, 1, 2.0);
+  p.add_constraint({{a, 1.0}, {b, 1.0}}, 1.0, kInf);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+// Property test: on random boxed LPs the simplex optimum must be feasible
+// and must not be beaten by any sampled feasible point.
+class SimplexRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomProperty, OptimumDominatesSampledFeasiblePoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 3 + static_cast<int>(rng.next_below(5));   // 3..7 vars
+  const int m = 2 + static_cast<int>(rng.next_below(5));   // 2..6 rows
+
+  Problem p;
+  for (int j = 0; j < n; ++j) {
+    const double c = rng.next_double() * 4.0 - 2.0;
+    p.add_variable(0.0, 1.0 + rng.next_double() * 3.0, c);
+  }
+  // Rows built as `a'x <= a'x0 + slack` around a random interior point x0,
+  // so the problem is always feasible.
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (auto& v : x0) v = rng.next_double();
+  for (int i = 0; i < m; ++i) {
+    std::vector<Term> terms;
+    double act = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = rng.next_double() * 2.0 - 1.0;
+      terms.push_back({j, a});
+      act += a * x0[static_cast<std::size_t>(j)];
+    }
+    p.add_constraint(std::move(terms), -kInf, act + rng.next_double());
+  }
+
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  ASSERT_TRUE(p.is_feasible(s.x, 1e-6));
+
+  // Sample random feasible points; none may improve on the optimum.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(j)] = rng.next_double() * p.col_up(j);
+    }
+    if (!p.is_feasible(x, 0.0)) continue;
+    EXPECT_GE(p.eval_objective(x), s.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace archex::lp

@@ -1,0 +1,112 @@
+// Tests for the operating-mode extension: per-mode adequacy rows change
+// what architectures are admissible (e.g. engine-out forces backup
+// generation to be instantiated).
+#include <gtest/gtest.h>
+
+#include "core/arch_ilp.hpp"
+#include "eps/eps_template.hpp"
+#include "eps/operating_modes.hpp"
+#include "ilp/solver.hpp"
+
+namespace archex::eps {
+namespace {
+
+EpsTemplate small_eps() {
+  EpsSpec spec;
+  spec.num_generators = 2;
+  return make_eps_template(spec);
+}
+
+TEST(OperatingModes, StandardSetShapes) {
+  const EpsTemplate eps = small_eps();
+  const auto modes = standard_flight_modes(eps);
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0].name, "cruise");
+  EXPECT_EQ(modes[1].name, "takeoff");
+  EXPECT_EQ(modes[2].name, "engine_out");
+  for (const auto& mode : modes) {
+    EXPECT_EQ(mode.load_demand_kw.size(), eps.loads.size());
+    EXPECT_EQ(mode.source_available.size(), eps.sources().size());
+  }
+  // Takeoff scales demand by 1.3.
+  for (std::size_t i = 0; i < eps.loads.size(); ++i) {
+    EXPECT_NEAR(modes[1].load_demand_kw[i],
+                1.3 * modes[0].load_demand_kw[i], 1e-12);
+  }
+  // Engine-out disables exactly one main generator and keeps the APU.
+  int disabled = 0;
+  for (std::size_t i = 0; i < modes[2].source_available.size(); ++i) {
+    if (!modes[2].source_available[i]) ++disabled;
+  }
+  EXPECT_EQ(disabled, 1);
+  EXPECT_TRUE(modes[2].source_available.back());  // APU stays online
+}
+
+TEST(OperatingModes, EngineOutForcesBackupGeneration) {
+  const EpsTemplate eps = small_eps();
+  ilp::BranchAndBoundSolver solver;
+
+  // Baseline (cruise only): one 70-kW generator covers the 40-kW demand.
+  core::ArchitectureIlp base = make_eps_ilp(eps);
+  const auto res_base = solver.solve(base.model());
+  ASSERT_TRUE(res_base.optimal());
+
+  // With the engine-out mode, losing the big generator must still leave
+  // enough instantiated supply: the optimum needs an extra source.
+  core::ArchitectureIlp hardened = make_eps_ilp(eps);
+  apply_operating_modes(hardened, eps, standard_flight_modes(eps));
+  const auto res_hard = solver.solve(hardened.model());
+  ASSERT_TRUE(res_hard.optimal());
+
+  EXPECT_GT(res_hard.objective, res_base.objective);
+
+  // Verify semantically: in the hardened optimum, the instantiated sources
+  // minus the largest one still cover the demand.
+  const core::Configuration cfg = hardened.extract(res_hard);
+  const auto used = cfg.used_nodes();
+  double total = 0.0, largest = 0.0, demand = 0.0;
+  for (const graph::NodeId s : eps.sources()) {
+    if (!used[static_cast<std::size_t>(s)]) continue;
+    const double supply = eps.tmpl.component(s).power_supply;
+    // The APU is exempt from the engine-out loss; still count the worst
+    // case over main generators only.
+    total += supply;
+  }
+  for (std::size_t i = 0; i < eps.generators.size(); ++i) {
+    const graph::NodeId g = eps.generators[i];
+    if (used[static_cast<std::size_t>(g)]) {
+      largest = std::max(largest, eps.tmpl.component(g).power_supply);
+    }
+  }
+  for (const graph::NodeId l : eps.loads) {
+    demand += eps.tmpl.component(l).power_demand;
+  }
+  EXPECT_GE(total - largest, demand - 1e-9);
+}
+
+TEST(OperatingModes, ValidatesProfiles) {
+  const EpsTemplate eps = small_eps();
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  OperatingMode bad{"bad", {1.0}, {true}};  // wrong lengths
+  EXPECT_THROW(apply_operating_modes(ilp, eps, {bad}), PreconditionError);
+  OperatingMode negative{"neg",
+                         std::vector<double>(eps.loads.size(), -1.0),
+                         std::vector<bool>(eps.sources().size(), true)};
+  EXPECT_THROW(apply_operating_modes(ilp, eps, {negative}),
+               PreconditionError);
+}
+
+TEST(OperatingModes, InfeasibleWhenNoBackupExists) {
+  // Without the APU and with only one generator, engine-out is impossible.
+  EpsSpec spec;
+  spec.num_generators = 1;
+  spec.include_apu = false;
+  const EpsTemplate eps = make_eps_template(spec);
+  core::ArchitectureIlp ilp = make_eps_ilp(eps);
+  apply_operating_modes(ilp, eps, standard_flight_modes(eps));
+  ilp::BranchAndBoundSolver solver;
+  EXPECT_EQ(solver.solve(ilp.model()).status, ilp::IlpStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace archex::eps

@@ -1,0 +1,145 @@
+// Tests for the Pareto-frontier sweep (core/pareto.hpp) and the MPS model
+// export (ilp/mps.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pareto.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/mps.hpp"
+#include "ilp/solver.hpp"
+
+namespace archex {
+namespace {
+
+// ---- Pareto sweep -------------------------------------------------------------
+
+/// Small 2-source / 2-middle / 1-sink template with a tie: several distinct
+/// reliability levels exist, so the frontier has multiple points and the
+/// sweep exhausts quickly (sub-second solves).
+struct SweepFixture {
+  core::Template tmpl;
+  SweepFixture() {
+    using graph::NodeId;
+    const NodeId s1 = tmpl.add_component({"S1", 0, 10, 0.01, 0, 0});
+    const NodeId s2 = tmpl.add_component({"S2", 0, 12, 0.01, 0, 0});
+    const NodeId m1 = tmpl.add_component({"M1", 1, 5, 0.02, 0, 0});
+    const NodeId m2 = tmpl.add_component({"M2", 1, 6, 0.02, 0, 0});
+    const NodeId t = tmpl.add_component({"T", 2, 0, 0.0, 0, 0});
+    for (NodeId s : {s1, s2}) {
+      for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(s, m, 1);
+    }
+    tmpl.add_candidate_edge(m1, m2, 1);
+    tmpl.add_candidate_edge(m2, m1, 1);
+    for (NodeId m : {m1, m2}) tmpl.add_candidate_edge(m, t, 1);
+  }
+  [[nodiscard]] core::ArchitectureIlp make_ilp() const {
+    core::ArchitectureIlp ilp(tmpl);
+    ilp.require_all_sinks_fed();
+    return ilp;
+  }
+};
+
+TEST(Pareto, SweepsUntilTemplateExhausted) {
+  const SweepFixture fx;
+  ilp::BranchAndBoundSolver solver;
+
+  core::ParetoOptions opt;
+  opt.initial_target = 5e-2;
+  opt.tighten_factor = 0.5;
+  opt.max_points = 8;
+
+  const core::ParetoFrontier frontier = core::sweep_pareto_frontier(
+      [&] { return fx.make_ilp(); }, solver, opt);
+
+  ASSERT_GE(frontier.points.size(), 2u);
+  for (std::size_t i = 0; i < frontier.points.size(); ++i) {
+    const auto& pt = frontier.points[i];
+    // Every point honors its own requirement under the algebra.
+    EXPECT_LE(pt.approx_failure, pt.target * (1 + 1e-9));
+    if (i > 0) {
+      // Strictly more reliable, never cheaper.
+      EXPECT_LT(pt.approx_failure, frontier.points[i - 1].approx_failure);
+      EXPECT_GE(pt.cost, frontier.points[i - 1].cost - 1e-9);
+    }
+  }
+  // The template tops out near r~ = 2(0.01^2) + 2(0.02^2) = 1e-3: the
+  // sweep must end in UNFEASIBLE (exhaustion), not in a solver failure.
+  EXPECT_EQ(frontier.terminal_status, core::SynthesisStatus::kUnfeasible);
+  EXPECT_LE(frontier.points.back().approx_failure, 1.1e-3);
+}
+
+TEST(Pareto, ValidatesOptions) {
+  eps::EpsSpec spec;
+  spec.num_generators = 1;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  ilp::BranchAndBoundSolver solver;
+  core::ParetoOptions opt;
+  opt.initial_target = 0.0;
+  EXPECT_THROW((void)core::sweep_pareto_frontier(
+                   [&] { return eps::make_eps_ilp(eps); }, solver, opt),
+               PreconditionError);
+  opt.initial_target = 1e-2;
+  opt.tighten_factor = 1.5;
+  EXPECT_THROW((void)core::sweep_pareto_frontier(
+                   [&] { return eps::make_eps_ilp(eps); }, solver, opt),
+               PreconditionError);
+}
+
+// ---- MPS export -----------------------------------------------------------------
+
+TEST(Mps, ContainsAllSections) {
+  ilp::Model m;
+  const ilp::Var a = m.add_binary("pick_a");
+  const ilp::Var b = m.add_binary("pick_b");
+  const ilp::Var f = m.add_continuous(0, 5, "flow");
+  m.add_row(ilp::LinExpr(a) + ilp::LinExpr(b) >= 1.0, "cover");
+  m.add_row(2.0 * f - 3.0 * a <= 4.0, "cap");
+  ilp::RowSpec range;
+  range.expr = ilp::LinExpr(f);
+  range.lo = 1.0;
+  range.up = 3.0;
+  m.add_row(std::move(range), "range");
+  m.set_objective(5.0 * a + 7.0 * b + 1.0 * f);
+
+  const std::string mps = ilp::to_mps(m, "demo");
+  for (const char* needle :
+       {"NAME demo", "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "ENDATA",
+        "'INTORG'", "'INTEND'", " BV BND ", "COST", "pick_a_0", "flow_2",
+        "cover_0", " G ", " L "}) {
+    EXPECT_NE(mps.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(Mps, FixedAndUnboundedVariables) {
+  ilp::Model m;
+  const ilp::Var x = m.add_continuous(-lp::kInf, lp::kInf, "free");
+  const ilp::Var y = m.add_continuous(2, 2, "pinned");
+  m.add_row(ilp::LinExpr(x) + ilp::LinExpr(y) == 3.0);
+  const std::string mps = ilp::to_mps(m);
+  EXPECT_NE(mps.find(" MI BND free_0"), std::string::npos);
+  EXPECT_NE(mps.find(" PL BND free_0"), std::string::npos);
+  EXPECT_NE(mps.find(" FX BND pinned_1 2"), std::string::npos);
+  EXPECT_NE(mps.find(" E "), std::string::npos);
+}
+
+TEST(Mps, EpsBaseModelExports) {
+  eps::EpsSpec spec;
+  spec.num_generators = 2;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+  const std::string mps = ilp::to_mps(ilp.model(), "eps_g2");
+  // Every row appears exactly once in ROWS.
+  std::size_t rows = 0;
+  for (std::size_t pos = 0;
+       (pos = mps.find("\n G ", pos)) != std::string::npos; ++pos) ++rows;
+  for (std::size_t pos = 0;
+       (pos = mps.find("\n L ", pos)) != std::string::npos; ++pos) ++rows;
+  for (std::size_t pos = 0;
+       (pos = mps.find("\n E ", pos)) != std::string::npos; ++pos) ++rows;
+  EXPECT_EQ(rows, static_cast<std::size_t>(ilp.model().num_rows()));
+  EXPECT_NE(mps.find("ENDATA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archex

@@ -1,0 +1,117 @@
+// Tests for template/configuration JSON serialization (core/serialize.hpp):
+// round-trips preserve all attributes and analysis results; malformed or
+// mismatched documents are rejected.
+#include <gtest/gtest.h>
+
+#include "core/serialize.hpp"
+#include "eps/eps_template.hpp"
+#include "support/json.hpp"
+
+namespace archex::core {
+namespace {
+
+TEST(SerializeTemplate, RoundTripPreservesEverything) {
+  eps::EpsSpec spec;
+  spec.num_generators = 2;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  const Template& original = eps.tmpl;
+
+  const std::string text = to_json(original);
+  const Template restored = template_from_json(text);
+
+  ASSERT_EQ(restored.num_components(), original.num_components());
+  ASSERT_EQ(restored.num_candidate_edges(), original.num_candidate_edges());
+  for (graph::NodeId v = 0; v < original.num_components(); ++v) {
+    const Component& a = original.component(v);
+    const Component& b = restored.component(v);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+    EXPECT_DOUBLE_EQ(a.failure_prob, b.failure_prob);
+    EXPECT_DOUBLE_EQ(a.power_supply, b.power_supply);
+    EXPECT_DOUBLE_EQ(a.power_demand, b.power_demand);
+  }
+  for (int k = 0; k < original.num_candidate_edges(); ++k) {
+    const CandidateEdge& a = original.candidate_edge(k);
+    const CandidateEdge& b = restored.candidate_edge(k);
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_DOUBLE_EQ(a.switch_cost, b.switch_cost);
+  }
+}
+
+TEST(SerializeTemplate, RejectsWrongFormatOrVersion) {
+  EXPECT_THROW((void)template_from_json(R"({"format": "nope", "version": 1,
+      "components": [], "candidate_edges": []})"),
+               PreconditionError);
+  EXPECT_THROW((void)template_from_json(R"({"format": "archex-template",
+      "version": 99, "components": [], "candidate_edges": []})"),
+               PreconditionError);
+  EXPECT_THROW((void)template_from_json("not json"), json::JsonError);
+}
+
+TEST(SerializeTemplate, RejectsSemanticallyInvalidDocuments) {
+  // Edge referencing a missing component.
+  const std::string bad = R"({
+    "format": "archex-template", "version": 1,
+    "components": [{"name": "a", "type": 0, "cost": 1,
+                    "failure_prob": 0.0}],
+    "candidate_edges": [{"from": 0, "to": 7, "switch_cost": 1}]
+  })";
+  EXPECT_THROW((void)template_from_json(bad), PreconditionError);
+}
+
+TEST(SerializeConfiguration, RoundTripPreservesSelectionAndMetrics) {
+  eps::EpsSpec spec;
+  spec.num_generators = 2;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+
+  std::vector<bool> selected(
+      static_cast<std::size_t>(eps.tmpl.num_candidate_edges()), false);
+  for (int k = 0; k < eps.tmpl.num_candidate_edges(); k += 2) {
+    selected[static_cast<std::size_t>(k)] = true;
+  }
+  const Configuration original(eps.tmpl, selected);
+
+  const std::string text = to_json(original);
+  const Configuration restored = configuration_from_json(eps.tmpl, text);
+
+  EXPECT_EQ(restored.selection(), original.selection());
+  EXPECT_DOUBLE_EQ(restored.total_cost(), original.total_cost());
+  EXPECT_DOUBLE_EQ(restored.worst_failure_probability(),
+                   original.worst_failure_probability());
+}
+
+TEST(SerializeConfiguration, RejectsTemplateMismatch) {
+  eps::EpsSpec small;
+  small.num_generators = 1;
+  const eps::EpsTemplate eps_small = eps::make_eps_template(small);
+  eps::EpsSpec big;
+  big.num_generators = 2;
+  const eps::EpsTemplate eps_big = eps::make_eps_template(big);
+
+  std::vector<bool> selected(
+      static_cast<std::size_t>(eps_small.tmpl.num_candidate_edges()), true);
+  const std::string text =
+      to_json(Configuration(eps_small.tmpl, selected));
+  EXPECT_THROW((void)configuration_from_json(eps_big.tmpl, text),
+               PreconditionError);
+}
+
+TEST(SerializeConfiguration, RejectsOutOfRangeEdges) {
+  eps::EpsSpec spec;
+  spec.num_generators = 1;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  const std::string bad = R"({
+    "format": "archex-configuration", "version": 1,
+    "template_components": )" +
+                          std::to_string(eps.tmpl.num_components()) +
+                          R"(, "template_candidate_edges": )" +
+                          std::to_string(eps.tmpl.num_candidate_edges()) +
+                          R"(, "selected_edges": [9999]})";
+  EXPECT_THROW((void)configuration_from_json(eps.tmpl, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace archex::core

@@ -1,0 +1,143 @@
+// Tests for the series-parallel reduction analyzer and the biased
+// (importance-sampled) Monte-Carlo estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/digraph.hpp"
+#include "graph/partition.hpp"
+#include "graph/paths.hpp"
+#include "rel/exact.hpp"
+#include "rel/monte_carlo.hpp"
+#include "rel/series_parallel.hpp"
+#include "support/rng.hpp"
+
+namespace archex::rel {
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+
+TEST(SeriesParallel, SeriesChainMatchesFactoring) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<double> p{0.1, 0.2, 0.05};
+  const auto sp = series_parallel_failure(g, {0}, 2, p);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_NEAR(*sp, failure_probability(g, {0}, 2, p), 1e-12);
+}
+
+TEST(SeriesParallel, ParallelChainsMatchFactoring) {
+  // Example-1 topology: two disjoint G->B->D->L chains.
+  Digraph g(7);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 6);
+  g.add_edge(1, 3);
+  g.add_edge(3, 5);
+  g.add_edge(5, 6);
+  const std::vector<double> p{0.1, 0.1, 0.2, 0.2, 0.15, 0.15, 0.05};
+  const auto sp = series_parallel_failure(g, {0, 1}, 6, p);
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_NEAR(*sp, failure_probability(g, {0, 1}, 6, p), 1e-12);
+}
+
+TEST(SeriesParallel, DisconnectedSinkIsCertainFailure) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto sp = series_parallel_failure(g, {0}, 2, {0.1, 0.1, 0.1});
+  ASSERT_TRUE(sp.has_value());
+  EXPECT_DOUBLE_EQ(*sp, 1.0);
+}
+
+TEST(SeriesParallel, WheatstoneBridgeIsIrreducible) {
+  // s -> a, s -> b, a -> c, b -> c (the "bridge" a -> b makes it non-SP).
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);  // the bridge
+  g.add_edge(3, 4);
+  const std::vector<double> p{0.1, 0.1, 0.1, 0.1, 0.0};
+  EXPECT_FALSE(series_parallel_failure(g, {0}, 4, p).has_value());
+  // Factoring still handles it, of course.
+  EXPECT_GT(failure_probability(g, {0}, 4, p), 0.0);
+}
+
+// Property: wherever the reduction succeeds, it must equal factoring.
+class SpAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpAgreement, MatchesFactoringWhenReducible) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2063 + 29);
+  const int n = 5 + static_cast<int>(rng.next_below(5));
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(0.35)) g.add_edge(u, v);
+    }
+  }
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (auto& q : p) q = rng.next_double() * 0.5;
+  const std::vector<NodeId> sources{0, 1};
+  const NodeId sink = n - 1;
+  const auto sp = series_parallel_failure(g, sources, sink, p);
+  if (!sp) return;  // irreducible instance: nothing to check
+  EXPECT_NEAR(*sp, failure_probability(g, sources, sink, p), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpAgreement, ::testing::Range(0, 40));
+
+// ---- biased Monte Carlo ---------------------------------------------------------
+
+TEST(BiasedMonteCarlo, SeesRareFailuresPlainMcCannot) {
+  // Two parallel chains with p = 2e-4: exact failure ~ 1.6e-7.
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 4);
+  const std::vector<double> p{2e-4, 2e-4, 2e-4, 2e-4, 0.0};
+  const double exact = failure_probability(g, {0, 1}, 4, p);
+  ASSERT_LT(exact, 1e-6);
+
+  Rng plain_rng(1);
+  const auto plain = monte_carlo_failure(g, {0, 1}, 4, p, 20000, plain_rng);
+  EXPECT_DOUBLE_EQ(plain.estimate, 0.0);  // blind to the rare event
+
+  Rng biased_rng(2);
+  const auto biased =
+      monte_carlo_failure_biased(g, {0, 1}, 4, p, 20000, biased_rng, 0.2);
+  EXPECT_GT(biased.estimate, 0.0);
+  EXPECT_NEAR(biased.estimate, exact, 6.0 * biased.std_error + 1e-9);
+}
+
+TEST(BiasedMonteCarlo, UnbiasedAtModerateProbabilities) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const std::vector<double> p{0.05, 0.1, 0.15, 0.02};
+  const double exact = failure_probability(g, {0}, 3, p);
+  Rng rng(7);
+  const auto est =
+      monte_carlo_failure_biased(g, {0}, 3, p, 50000, rng, 0.25);
+  EXPECT_NEAR(est.estimate, exact, 6.0 * est.std_error + 1e-4);
+}
+
+TEST(BiasedMonteCarlo, ValidatesBias) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  Rng rng(1);
+  EXPECT_THROW((void)monte_carlo_failure_biased(g, {0}, 1, {0.1, 0.1}, 10,
+                                                rng, 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)monte_carlo_failure_biased(g, {0}, 1, {0.1, 0.1}, 10,
+                                                rng, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace archex::rel

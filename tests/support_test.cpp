@@ -1,0 +1,156 @@
+// Unit tests for archex::support: diagnostics, stopwatch, RNG, tables,
+// string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace archex {
+namespace {
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(ARCHEX_REQUIRE(false, "boom"), PreconditionError);
+  EXPECT_NO_THROW(ARCHEX_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsInternalError) {
+  EXPECT_THROW(ARCHEX_ASSERT(1 == 2, "bug"), InternalError);
+  EXPECT_NO_THROW(ARCHEX_ASSERT(1 == 1, "ok"));
+}
+
+TEST(Check, MessageContainsLocationAndText) {
+  try {
+    ARCHEX_REQUIRE(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("support_test"), std::string::npos);
+  }
+}
+
+TEST(Stopwatch, AccumulatesAcrossLaps) {
+  Stopwatch w;
+  EXPECT_EQ(w.elapsed_seconds(), 0.0);
+  w.start();
+  w.stop();
+  const double after_one = w.elapsed_seconds();
+  EXPECT_GE(after_one, 0.0);
+  w.start();
+  w.stop();
+  EXPECT_GE(w.elapsed_seconds(), after_one);
+}
+
+TEST(Stopwatch, ScopedLapStops) {
+  Stopwatch w;
+  {
+    ScopedLap lap(w);
+    EXPECT_TRUE(w.running());
+  }
+  EXPECT_FALSE(w.running());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, BernoulliMatchesProbabilityRoughly) {
+  Rng rng(3);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(TextTable, AlignsColumnsAndCounts) {
+  TextTable t({"|V|", "time (s)"});
+  t.add_row({"20", "4.3"});
+  t.add_row({"30", "9"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|V|"), std::string::npos);
+  EXPECT_NE(s.find("4.3"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthValidated) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, FixedSciCount) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(2.8e-10, 1), "2.8e-10");
+  EXPECT_EQ(format_count(176794), "176794");
+}
+
+TEST(Strings, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(split("a,b,c", ','), parts);
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(split("a,,c", ',').size(), 3u);
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("generator-1", "gen"));
+  EXPECT_FALSE(starts_with("gen", "generator"));
+}
+
+TEST(Strings, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("L-G 1"), "L_G_1");
+  EXPECT_EQ(sanitize_identifier("2nd"), "n2nd");
+  EXPECT_EQ(sanitize_identifier(""), "n");
+}
+
+}  // namespace
+}  // namespace archex
