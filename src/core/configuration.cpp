@@ -86,11 +86,27 @@ double Configuration::failure_probability(graph::NodeId sink,
                                   tmpl_->node_failure_probs(), method);
 }
 
+double Configuration::failure_probability(graph::NodeId sink,
+                                          const rel::EvalContext& ctx,
+                                          rel::ExactMethod method) const {
+  return rel::failure_probability(analysis_graph(),
+                                  tmpl_->partition().members(0), sink,
+                                  tmpl_->node_failure_probs(), ctx, method);
+}
+
 double Configuration::worst_failure_probability(
     rel::ExactMethod method) const {
   return rel::worst_failure_probability(analysis_graph(), tmpl_->partition(),
                                         tmpl_->sinks(),
                                         tmpl_->node_failure_probs(), method);
+}
+
+double Configuration::worst_failure_probability(
+    const rel::EvalContext& ctx, rel::ExactMethod method) const {
+  return rel::worst_failure_probability(analysis_graph(), tmpl_->partition(),
+                                        tmpl_->sinks(),
+                                        tmpl_->node_failure_probs(), method,
+                                        ctx);
 }
 
 rel::ApproxResult Configuration::approximate_failure(

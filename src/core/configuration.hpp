@@ -52,9 +52,20 @@ class Configuration {
       graph::NodeId sink,
       rel::ExactMethod method = rel::ExactMethod::kFactoring) const;
 
+  /// Accelerated variant: factoring consults `ctx.cache` at every pivot and
+  /// runs subtrees on `ctx.pool` (bit-identical to the plain overload).
+  [[nodiscard]] double failure_probability(
+      graph::NodeId sink, const rel::EvalContext& ctx,
+      rel::ExactMethod method = rel::ExactMethod::kFactoring) const;
+
   /// Worst exact failure probability over all sinks (the requirement the
   /// synthesis algorithms check).
   [[nodiscard]] double worst_failure_probability(
+      rel::ExactMethod method = rel::ExactMethod::kFactoring) const;
+
+  /// Accelerated variant of the worst-sink evaluation.
+  [[nodiscard]] double worst_failure_probability(
+      const rel::EvalContext& ctx,
       rel::ExactMethod method = rel::ExactMethod::kFactoring) const;
 
   /// Approximate algebra (eq. 7) for one sink's functional link.

@@ -37,6 +37,10 @@ struct IlpArOptions {
   /// Accept a solver incumbent when limits trip before the optimality
   /// proof (cost may be suboptimal; r~ of the result is still verified).
   bool accept_incumbent = false;
+  /// Optional acceleration of the final exact evaluation (and of future
+  /// runs sharing the same cache, e.g. across a Pareto sweep).
+  rel::EvalCache* cache = nullptr;
+  support::ThreadPool* pool = nullptr;
 };
 
 struct IlpArReport {

@@ -185,7 +185,8 @@ class ConstraintLearner {
 
 /// RELANALYSIS: exact worst-sink failure, also reporting which sink is worst.
 std::pair<double, NodeId> worst_sink_failure(const Configuration& config,
-                                             rel::ExactMethod method) {
+                                             rel::ExactMethod method,
+                                             const rel::EvalContext& ctx) {
   const Template& tmpl = config.architecture_template();
   const graph::Digraph g = config.analysis_graph();
   const auto p = tmpl.node_failure_probs();
@@ -193,7 +194,8 @@ std::pair<double, NodeId> worst_sink_failure(const Configuration& config,
   double worst = -1.0;
   NodeId worst_sink = -1;
   for (NodeId sink : tmpl.sinks()) {
-    const double r = rel::failure_probability(g, part, sink, p, method);
+    const double r =
+        rel::failure_probability(g, part.members(0), sink, p, ctx, method);
     if (r > worst) {
       worst = r;
       worst_sink = sink;
@@ -216,6 +218,14 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   Stopwatch analysis_watch;
   ConstraintLearner learner(ilp, options.encoding);
 
+  // Successive iterates differ by a few components, so their factoring
+  // recursions share most pivot subproblems: always analyze through a cache,
+  // preferring the caller's (which may already be warm).
+  rel::EvalCache local_cache;
+  rel::EvalContext ctx;
+  ctx.cache = options.cache != nullptr ? options.cache : &local_cache;
+  ctx.pool = options.pool;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     solver_watch.start();
     const ilp::IlpResult result = solver.solve(ilp.model());
@@ -237,7 +247,7 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
 
     analysis_watch.start();
     const auto [failure, worst_sink] =
-        worst_sink_failure(config, options.method);
+        worst_sink_failure(config, options.method, ctx);
     analysis_watch.stop();
 
     MrIteration log;

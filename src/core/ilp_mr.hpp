@@ -59,6 +59,12 @@ struct IlpMrOptions {
   /// exact RELANALYSIS still gates acceptance); only cost optimality may
   /// degrade. Benchmarks enable this to bound their runtime.
   bool accept_incumbent = false;
+  /// Memoization cache shared by every RELANALYSIS call. Null still
+  /// memoizes *within* the run (successive iterates share most pivot
+  /// subproblems); pass a cache to also share across runs.
+  rel::EvalCache* cache = nullptr;
+  /// Optional worker pool for the factoring analyzer.
+  support::ThreadPool* pool = nullptr;
 };
 
 /// One row of the per-iteration trace (Fig. 2 of the paper).

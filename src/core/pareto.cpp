@@ -15,12 +15,17 @@ ParetoFrontier sweep_pareto_frontier(
   ARCHEX_REQUIRE(options.max_points >= 1, "need at least one sweep point");
 
   ParetoFrontier frontier;
+  // Adjacent sweep points share most factoring subproblems; evaluate every
+  // step through one cache (the caller's, if provided, which may be warm).
+  rel::EvalCache local_cache;
   double target = options.initial_target;
   for (int step = 0; step < options.max_points; ++step) {
     ArchitectureIlp ilp = make_base_ilp();
     IlpArOptions ar;
     ar.target_failure = target;
     ar.accept_incumbent = options.accept_incumbent;
+    ar.cache = options.cache != nullptr ? options.cache : &local_cache;
+    ar.pool = options.pool;
     IlpArReport report = run_ilp_ar(ilp, solver, ar);
 
     frontier.terminal_status = report.status;
@@ -29,11 +34,15 @@ ParetoFrontier sweep_pareto_frontier(
     ParetoPoint point{target, report.configuration->total_cost(),
                       report.approx_failure, report.exact_failure,
                       std::move(*report.configuration)};
-    // Guard against a degenerate step: if the achieved estimate did not
-    // move below the previous point's, tightening stalls — stop.
+    // Guard against a degenerate step: if the achieved estimate did not move
+    // below the previous point's, tightening has stalled. The new
+    // architecture is dominated by the previous point, so drop it (keeping
+    // the frontier strictly decreasing in r̃) and record the stall.
     if (!frontier.points.empty() &&
         point.approx_failure >= frontier.points.back().approx_failure) {
-      frontier.points.push_back(std::move(point));
+      frontier.tightening_stalled = true;
+      frontier.stalled_target = point.target;
+      frontier.stalled_approx_failure = point.approx_failure;
       break;
     }
     frontier.points.push_back(std::move(point));

@@ -40,6 +40,13 @@ struct ParetoOptions {
   int max_points = 16;
   /// Forwarded to each ILP-AR run.
   bool accept_incumbent = false;
+  /// Reliability-evaluation cache shared by every sweep point. Null still
+  /// shares one cache *across* the sweep's own steps (adjacent points differ
+  /// by a few edges, so their factoring subproblems overlap heavily); pass a
+  /// cache to also retain it across sweeps.
+  rel::EvalCache* cache = nullptr;
+  /// Optional worker pool forwarded to each ILP-AR run.
+  support::ThreadPool* pool = nullptr;
 };
 
 struct ParetoFrontier {
@@ -47,6 +54,13 @@ struct ParetoFrontier {
   /// Status of the step that ended the sweep (kUnfeasible when the template
   /// was exhausted — the expected terminal state).
   SynthesisStatus terminal_status = SynthesisStatus::kUnfeasible;
+  /// True when the sweep ended because tightening stalled: a step achieved
+  /// an r̃ no better than the previous point's. The stalled architecture is
+  /// dominated (no cheaper, no more reliable), so it is *not* added to
+  /// `points`; its requirement and estimate are recorded here instead.
+  bool tightening_stalled = false;
+  double stalled_target = 0.0;          // the r* of the stalled step
+  double stalled_approx_failure = 0.0;  // the r̃ it achieved
 };
 
 /// Sweep the frontier. `make_base_ilp` must produce a fresh base ILP

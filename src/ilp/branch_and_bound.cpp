@@ -7,6 +7,7 @@
 // direction, which tends to find feasible architectures early on the
 // synthesis models produced by ILP-MR / ILP-AR.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -47,6 +48,14 @@ class Search {
 
   IlpResult run() {
     watch_.start();
+    // The LP engine honours the same wall-clock budget as the tree search,
+    // so a node relaxation that overruns the limit aborts within a few dozen
+    // pivots instead of running to completion first.
+    engine_.set_deadline(std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 opt_.time_limit_seconds)));
     IlpResult out;
 
     dive();
@@ -99,6 +108,10 @@ class Search {
     lp_pivots_ += rel.iterations;
 
     if (rel.status == lp::SolveStatus::kInfeasible) return;
+    if (rel.status == lp::SolveStatus::kTimeLimit) {
+      abort_with(IlpStatus::kTimeLimit);
+      return;
+    }
     if (rel.status != lp::SolveStatus::kOptimal) {
       // Unbounded relaxations cannot occur on our bounded models; iteration
       // limits and numeric failures abort the search conservatively.
@@ -116,23 +129,13 @@ class Search {
     const int frac = pick_branch_variable(rel.x);
     if (frac < 0) {
       // Integral solution: snap and record.
-      std::vector<double> x = rel.x;
-      for (int j : integral_) {
-        x[static_cast<std::size_t>(j)] =
-            std::round(x[static_cast<std::size_t>(j)]);
-      }
-      const double obj = model_.eval_objective(x) - model_.objective_constant();
-      if (!have_incumbent_ || obj < incumbent_obj_ - 1e-9) {
-        ARCHEX_ASSERT(model_.is_feasible(x, 1e-5),
-                      "rounded LP-integral point violates the model");
-        incumbent_ = std::move(x);
-        incumbent_obj_ = obj;
-        have_incumbent_ = true;
-      }
+      try_accept_incumbent(rel.x);
       return;
     }
 
-    if (nodes_ == 1 && opt_.root_rounding_heuristic) try_rounding(rel.x);
+    if (nodes_ == 1 && opt_.root_rounding_heuristic) {
+      try_accept_incumbent(rel.x);
+    }
 
     const auto jf = static_cast<std::size_t>(frac);
     const double value = rel.x[jf];
@@ -179,22 +182,27 @@ class Search {
     return best;
   }
 
-  /// Cheap root heuristic: round every integral variable to the nearest
-  /// integer and accept the point if it happens to be feasible.
-  void try_rounding(const std::vector<double>& x_rel) {
-    std::vector<double> x = x_rel;
+  // One acceptance rule for every incumbent candidate — the integral-leaf
+  // path and the root rounding heuristic used to apply different feasibility
+  // and improvement tolerances, so which of two equal-cost incumbents
+  // survived depended on where it was found.
+  static constexpr double kFeasTol = 1e-5;
+  static constexpr double kImproveTol = 1e-9;
+
+  /// Round the integral variables of a relaxation point and accept it as the
+  /// incumbent iff it strictly improves and satisfies the model.
+  bool try_accept_incumbent(std::vector<double> x) {
     for (int j : integral_) {
       x[static_cast<std::size_t>(j)] =
           std::round(x[static_cast<std::size_t>(j)]);
     }
-    if (model_.is_feasible(x)) {
-      const double obj = model_.eval_objective(x) - model_.objective_constant();
-      if (!have_incumbent_ || obj < incumbent_obj_) {
-        incumbent_ = std::move(x);
-        incumbent_obj_ = obj;
-        have_incumbent_ = true;
-      }
-    }
+    const double obj = model_.eval_objective(x) - model_.objective_constant();
+    if (have_incumbent_ && obj >= incumbent_obj_ - kImproveTol) return false;
+    if (!model_.is_feasible(x, kFeasTol)) return false;
+    incumbent_ = std::move(x);
+    incumbent_obj_ = obj;
+    have_incumbent_ = true;
+    return true;
   }
 
   /// Prune nodes whose LP bound cannot beat the incumbent. With an

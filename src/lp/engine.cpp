@@ -5,6 +5,7 @@
 #include "lp/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
@@ -52,6 +53,13 @@ class EngineImpl {
     return cur_up_[idx(var)];
   }
 
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    have_deadline_ = true;
+  }
+
+  void clear_deadline() { have_deadline_ = false; }
+
   Solution solve_from_scratch() {
     ++stats_.scratch_solves;
     basis_valid_ = false;
@@ -68,6 +76,7 @@ class EngineImpl {
       const SolveStatus s1 = primal_iterate(/*phase1=*/true);
       phase1_pivots = iterations_;
       if (s1 == SolveStatus::kIterationLimit ||
+          s1 == SolveStatus::kTimeLimit ||
           s1 == SolveStatus::kNumericFailure) {
         out.status = s1;
         out.iterations = iterations_;
@@ -173,6 +182,9 @@ class EngineImpl {
       ++stats_.dual_reopts;
       return finish(status);
     }
+    // A deadline abort must propagate, not trigger the scratch fallback
+    // (which would keep pivoting past the limit).
+    if (status == SolveStatus::kTimeLimit) return finish(status);
     // Stall, limit or numeric trouble: fall back to a clean solve.
     ++stats_.dual_fallbacks;
     if (status == SolveStatus::kIterationLimit) ++stats_.dual_limit;
@@ -372,6 +384,13 @@ class EngineImpl {
     return out;
   }
 
+  /// True once the caller's deadline has passed. The call sites poll every
+  /// 64 pivots: a clock read costs a fraction of a pivot, so the abort lands
+  /// within a few dozen pivots of the deadline.
+  [[nodiscard]] bool past_deadline() const {
+    return have_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
   // ---- primal simplex (two-phase) ------------------------------------------
 
   SolveStatus primal_iterate(bool phase1) {
@@ -382,6 +401,9 @@ class EngineImpl {
     devex_.assign(static_cast<std::size_t>(total_), 1.0);
 
     while (true) {
+      if ((iterations_ & 63) == 0 && past_deadline()) {
+        return SolveStatus::kTimeLimit;
+      }
       if (iterations_ >= max_iter_) return SolveStatus::kIterationLimit;
 
       const bool bland = stalled >= opt_.bland_after;
@@ -568,6 +590,9 @@ class EngineImpl {
     int no_progress = 0;
 
     while (true) {
+      if ((local_iters & 63) == 0 && past_deadline()) {
+        return SolveStatus::kTimeLimit;
+      }
       if (local_iters++ >= dual_cap) return SolveStatus::kIterationLimit;
       if (iterations_ >= max_iter_) return SolveStatus::kIterationLimit;
       {
@@ -869,6 +894,10 @@ class EngineImpl {
   long max_iter_ = 0;
   SimplexEngine::Stats stats_;
 
+  // Optional wall-clock deadline; polled inside the pivot loops.
+  std::chrono::steady_clock::time_point deadline_{};
+  bool have_deadline_ = false;
+
   // Anti-degeneracy perturbation state (see snapshot()/iterate()).
   std::vector<double> pert_;
   double pert_slack_ = 0.0;
@@ -891,6 +920,13 @@ SimplexEngine& SimplexEngine::operator=(SimplexEngine&&) noexcept = default;
 void SimplexEngine::set_variable_bounds(int var, double lo, double up) {
   impl_->set_variable_bounds(var, lo, up);
 }
+
+void SimplexEngine::set_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  impl_->set_deadline(deadline);
+}
+
+void SimplexEngine::clear_deadline() { impl_->clear_deadline(); }
 
 double SimplexEngine::col_lo(int var) const { return impl_->col_lo(var); }
 double SimplexEngine::col_up(int var) const { return impl_->col_up(var); }

@@ -18,6 +18,7 @@
 // basis exists yet or the dual loop hits a limit or numeric trouble.
 #pragma once
 
+#include <chrono>
 #include <memory>
 
 #include "lp/problem.hpp"
@@ -42,6 +43,13 @@ class SimplexEngine {
 
   /// Override the box of a structural variable.
   void set_variable_bounds(int var, double lo, double up);
+
+  /// Abort any solve promptly (status kTimeLimit) once `deadline` passes.
+  /// The pivot loops poll the clock every few dozen iterations, so the
+  /// overshoot is a handful of pivots — not a whole node relaxation. A
+  /// time-limited solve invalidates the warm-start basis.
+  void set_deadline(std::chrono::steady_clock::time_point deadline);
+  void clear_deadline();
 
   /// Current (possibly overridden) bounds of a structural variable.
   [[nodiscard]] double col_lo(int var) const;

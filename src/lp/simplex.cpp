@@ -14,6 +14,7 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
     case SolveStatus::kNumericFailure: return "numeric-failure";
   }
   return "unknown";

@@ -28,6 +28,8 @@ enum class SolveStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// The engine's deadline (SimplexEngine::set_deadline) passed mid-solve.
+  kTimeLimit,
   kNumericFailure,
 };
 

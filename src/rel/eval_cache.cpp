@@ -1,0 +1,72 @@
+#include "rel/eval_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace archex::rel {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline void mix(std::uint64_t& h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t EvalKey::hash() const {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(sink));
+  mix(h, probs.size());
+  for (double p : probs) mix(h, std::bit_cast<std::uint64_t>(p));
+  mix(h, edges.size());
+  for (const auto& [u, v] : edges) {
+    mix(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+               static_cast<std::uint32_t>(v));
+  }
+  mix(h, sources.size());
+  for (int s : sources) mix(h, static_cast<std::uint64_t>(s));
+  return h;
+}
+
+std::optional<double> EvalCache::lookup(const EvalKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvalCache::store(const EvalKey& key, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= max_entries_ && !entries_.contains(key)) {
+    ++rejected_;
+    return;
+  }
+  entries_.try_emplace(key, value);
+}
+
+void EvalCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.rejected = rejected_;
+  out.size = entries_.size();
+  return out;
+}
+
+}  // namespace archex::rel

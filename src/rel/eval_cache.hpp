@@ -1,0 +1,93 @@
+// archex/rel/eval_cache.hpp
+//
+// Memoization cache for exact K-terminal reliability subproblems. The
+// synthesis loops (ILP-MR iterates, Pareto sweep points) evaluate many
+// configurations whose induced subgraphs overlap heavily, and the factoring
+// analyzer itself re-derives identical pivot subproblems along different
+// branches of its recursion tree. Both levels hit this cache.
+//
+// A subproblem is identified by its *canonical form*: live nodes relabeled
+// densely in ascending original order, the sorted induced edge list, the
+// per-node failure probabilities (already-conditioned "up" nodes carry 0.0),
+// the live source set, and the sink. The canonical form fully determines the
+// factoring result — the analyzer evaluates on an adjacency-sorted graph, so
+// the stored value is bit-identical to what any later evaluation of the same
+// canonical form would compute (see DESIGN.md, determinism contract).
+//
+// Thread safety: lookups and stores take a mutex, so one cache can back a
+// parallel factoring run or be shared across pool tasks. Values are pure
+// functions of their keys; racing writers store identical bits, making the
+// first-writer-wins policy harmless.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace archex::rel {
+
+/// Canonical subproblem identity. Equality is structural (hash collisions
+/// can never alias two distinct subproblems).
+struct EvalKey {
+  std::vector<std::pair<int, int>> edges;  // canonical ids, lexicographic
+  std::vector<double> probs;               // per canonical node
+  std::vector<int> sources;                // canonical ids, ascending
+  int sink = 0;                            // canonical id
+
+  bool operator==(const EvalKey&) const = default;
+
+  /// 64-bit structural hash (FNV-1a over the packed representation).
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+class EvalCache {
+ public:
+  /// `max_entries` bounds memory: stores beyond it are dropped (counted in
+  /// stats().rejected) rather than evicting, because synthesis workloads
+  /// revisit early iterates far more often than late ones.
+  explicit EvalCache(std::size_t max_entries = 1u << 20)
+      : max_entries_(max_entries) {}
+
+  /// The cached value for `key`, or nullopt. Updates hit/miss counters.
+  [[nodiscard]] std::optional<double> lookup(const EvalKey& key);
+
+  /// Insert key -> value. Duplicate stores keep the existing entry.
+  void store(const EvalKey& key, double value);
+
+  /// Drop every entry (invalidation). Counters survive so observability
+  /// spans invalidation boundaries; size() resets to 0.
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rejected = 0;  // stores dropped by the max_entries cap
+    std::size_t size = 0;        // resident entries
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const EvalKey& key) const {
+      return static_cast<std::size_t>(key.hash());
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EvalKey, double, KeyHash> entries_;
+  std::size_t max_entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace archex::rel

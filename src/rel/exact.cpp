@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <deque>
+#include <utility>
 
 #include "graph/paths.hpp"
 #include "rel/series_parallel.hpp"
@@ -18,12 +19,30 @@ using graph::NodeId;
 
 enum class NodeState : unsigned char { kUndecided, kUp, kDown };
 
-/// Factoring (pivot decomposition) engine.
+/// Copy of `g` with every adjacency list sorted ascending. The factoring
+/// engine evaluates on this normalized form so that a subproblem's value is
+/// a pure function of its canonical key (EvalKey): order-preserving node
+/// compaction maps sorted adjacency to sorted adjacency, hence BFS orders,
+/// pivot choices and the floating-point combination order all coincide with
+/// an evaluation of the canonicalized subgraph. That invariant is what makes
+/// the cache bit-exact and thread-schedule independent.
+Digraph sorted_adjacency_copy(const Digraph& g) {
+  Digraph out(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> succ = g.successors(u);
+    std::sort(succ.begin(), succ.end());
+    for (NodeId v : succ) out.add_edge(u, v);
+  }
+  return out;
+}
+
+/// Factoring (pivot decomposition) engine. Operates on a normalized
+/// (adjacency-sorted) graph with ascending, duplicate-free sources.
 class Factoring {
  public:
-  Factoring(const Digraph& g, std::vector<NodeId> sources, NodeId sink,
-            const std::vector<double>& p)
-      : g_(g), sources_(std::move(sources)), sink_(sink), p_(p) {
+  Factoring(const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
+            const std::vector<double>& p, EvalCache* cache)
+      : g_(g), sources_(sources), sink_(sink), p_(p), cache_(cache) {
     state_.assign(static_cast<std::size_t>(g.num_nodes()),
                   NodeState::kUndecided);
     // Perfectly reliable nodes never branch: force them up once.
@@ -32,7 +51,112 @@ class Factoring {
     }
   }
 
+  /// Continue from a mid-recursion conditioning state (parallel subtrees).
+  Factoring(const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
+            const std::vector<double>& p, EvalCache* cache,
+            std::vector<NodeState> state)
+      : g_(g),
+        sources_(sources),
+        sink_(sink),
+        p_(p),
+        cache_(cache),
+        state_(std::move(state)) {}
+
   double run() { return recurse(); }
+
+  /// Expand the top of the recursion tree breadth-first into independent
+  /// subproblems, evaluate them on `pool`, and recombine in the exact
+  /// association order the serial recursion would have used — the result is
+  /// bit-identical to run() for any thread count.
+  double run_parallel(support::ThreadPool& pool) {
+    struct TreeNode {
+      std::vector<NodeState> state;  // leaves only (moved out on expansion)
+      double pv = 0.0;               // pivot probability (inner nodes)
+      int down = -1;
+      int up = -1;
+      double value = 0.0;
+      bool resolved = false;
+      bool has_key = false;
+      EvalKey key;  // kept to publish inner-node values to the cache
+    };
+
+    std::vector<TreeNode> tree;
+    std::deque<std::size_t> open;  // unexpanded leaves, FIFO -> balanced
+    tree.emplace_back();
+    tree.front().state = state_;
+    open.push_back(0);
+
+    const auto target_leaves =
+        static_cast<std::size_t>(4 * pool.num_threads());
+    while (!open.empty() && open.size() < target_leaves &&
+           tree.size() < 8 * target_leaves) {
+      const std::size_t id = open.front();
+      open.pop_front();
+      state_ = tree[id].state;
+
+      if (cache_ != nullptr &&
+          state_[static_cast<std::size_t>(sink_)] != NodeState::kDown) {
+        tree[id].key = make_key();
+        tree[id].has_key = true;
+        if (const auto hit = cache_->lookup(tree[id].key)) {
+          tree[id].value = *hit;
+          tree[id].resolved = true;
+          continue;
+        }
+      }
+
+      const Reach r = reachability();
+      const auto sink_i = static_cast<std::size_t>(sink_);
+      if (state_[sink_i] == NodeState::kDown || !r.possible[sink_i] ||
+          r.certain[sink_i]) {
+        tree[id].value = r.certain[sink_i] ? 0.0 : 1.0;
+        tree[id].resolved = true;
+        if (tree[id].has_key) cache_->store(tree[id].key, tree[id].value);
+        continue;
+      }
+
+      const NodeId pivot = pick_pivot(r);
+      ARCHEX_ASSERT(pivot >= 0,
+                    "no pivot despite undecided connectivity state");
+      const auto pi = static_cast<std::size_t>(pivot);
+      tree[id].pv = p_[pi];
+      tree[id].down = static_cast<int>(tree.size());
+      tree[id].up = static_cast<int>(tree.size()) + 1;
+      tree.emplace_back();
+      tree.emplace_back();
+      tree[static_cast<std::size_t>(tree[id].down)].state = tree[id].state;
+      tree[static_cast<std::size_t>(tree[id].down)].state[pi] =
+          NodeState::kDown;
+      tree[static_cast<std::size_t>(tree[id].up)].state =
+          std::move(tree[id].state);
+      tree[static_cast<std::size_t>(tree[id].up)].state[pi] = NodeState::kUp;
+      open.push_back(static_cast<std::size_t>(tree[id].down));
+      open.push_back(static_cast<std::size_t>(tree[id].up));
+    }
+
+    // Evaluate the pending leaves concurrently; the shared cache is safe
+    // because every stored value is a pure function of its key.
+    const std::vector<std::size_t> pending(open.begin(), open.end());
+    pool.parallel_for(0, pending.size(), [&](std::size_t i) {
+      TreeNode& leaf = tree[pending[i]];
+      Factoring sub(g_, sources_, sink_, p_, cache_, std::move(leaf.state));
+      leaf.value = sub.run();
+      leaf.resolved = true;
+    });
+
+    // Children always follow their parent in `tree`, so one reverse sweep
+    // resolves every inner node with the serial combination order.
+    for (std::size_t i = tree.size(); i-- > 0;) {
+      TreeNode& node = tree[i];
+      if (node.resolved) continue;
+      node.value =
+          node.pv * tree[static_cast<std::size_t>(node.down)].value +
+          (1.0 - node.pv) * tree[static_cast<std::size_t>(node.up)].value;
+      node.resolved = true;
+      if (node.has_key) cache_->store(node.key, node.value);
+    }
+    return tree.front().value;
+  }
 
  private:
   /// BFS over nodes that are not Down; returns per-node flags reachable from
@@ -115,7 +239,53 @@ class Factoring {
     return -1;
   }
 
+  /// Canonical form of the current conditioning state: live (non-Down)
+  /// nodes compacted in ascending order, Up nodes carrying probability 0.
+  [[nodiscard]] EvalKey make_key() const {
+    const auto n = static_cast<std::size_t>(g_.num_nodes());
+    EvalKey key;
+    std::vector<int> canon(n, -1);
+    int next = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (state_[v] != NodeState::kDown) canon[v] = next++;
+    }
+    key.probs.resize(static_cast<std::size_t>(next));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (canon[v] < 0) continue;
+      key.probs[static_cast<std::size_t>(canon[v])] =
+          state_[v] == NodeState::kUp ? 0.0 : p_[v];
+    }
+    for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (canon[ui] < 0) continue;
+      for (NodeId v : g_.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (canon[vi] >= 0) key.edges.push_back({canon[ui], canon[vi]});
+      }
+    }
+    for (NodeId s : sources_) {
+      const auto si = static_cast<std::size_t>(s);
+      if (canon[si] >= 0) key.sources.push_back(canon[si]);
+    }
+    key.sink = canon[static_cast<std::size_t>(sink_)];
+    return key;
+  }
+
   double recurse() {
+    // Memoize every pivot subproblem (not just the top level). The canonical
+    // key fully determines the value, so a hit is bit-exact.
+    if (cache_ != nullptr &&
+        state_[static_cast<std::size_t>(sink_)] != NodeState::kDown) {
+      const EvalKey key = make_key();
+      if (const auto hit = cache_->lookup(key)) return *hit;
+      const double value = evaluate();
+      cache_->store(key, value);
+      return value;
+    }
+    return evaluate();
+  }
+
+  double evaluate() {
     const Reach r = reachability();
     const auto sink_i = static_cast<std::size_t>(sink_);
     // Certain failure: no surviving path can exist any more.
@@ -139,9 +309,10 @@ class Factoring {
   }
 
   const Digraph& g_;
-  std::vector<NodeId> sources_;
+  const std::vector<NodeId>& sources_;
   NodeId sink_;
   const std::vector<double>& p_;
+  EvalCache* cache_ = nullptr;
   std::vector<NodeState> state_;
 };
 
@@ -213,27 +384,53 @@ void validate(const Digraph& g, const std::vector<NodeId>& sources,
   }
 }
 
+/// Normalize and factor: the normalized graph plus sorted duplicate-free
+/// sources pin down the evaluation order, making the result a pure function
+/// of the canonical problem (the cache/parallel determinism contract).
+double run_factoring(const Digraph& g, const std::vector<NodeId>& sources,
+                     NodeId sink, const std::vector<double>& p,
+                     const EvalContext& ctx) {
+  const Digraph normalized = sorted_adjacency_copy(g);
+  std::vector<NodeId> ordered = sources;
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+  Factoring factoring(normalized, ordered, sink, p, ctx.cache);
+  if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
+    return factoring.run_parallel(*ctx.pool);
+  }
+  return factoring.run();
+}
+
 }  // namespace
 
 double failure_probability(const Digraph& g,
                            const std::vector<NodeId>& sources,
                            graph::NodeId sink, const std::vector<double>& p,
-                           ExactMethod method, std::size_t max_paths) {
+                           const EvalContext& ctx, ExactMethod method,
+                           std::size_t max_paths) {
   validate(g, sources, sink, p);
   if (sources.empty()) return 1.0;
   switch (method) {
     case ExactMethod::kFactoring:
-      return Factoring(g, sources, sink, p).run();
+      return run_factoring(g, sources, sink, p, ctx);
     case ExactMethod::kInclusionExclusion:
       return InclusionExclusion(g, sources, sink, p, max_paths).run();
     case ExactMethod::kSeriesParallelAuto: {
       if (const auto reduced = series_parallel_failure(g, sources, sink, p)) {
         return *reduced;
       }
-      return Factoring(g, sources, sink, p).run();
+      return run_factoring(g, sources, sink, p, ctx);
     }
   }
   throw InternalError("unknown exact method");
+}
+
+double failure_probability(const Digraph& g,
+                           const std::vector<NodeId>& sources,
+                           graph::NodeId sink, const std::vector<double>& p,
+                           ExactMethod method, std::size_t max_paths) {
+  return failure_probability(g, sources, sink, p, EvalContext{}, method,
+                             max_paths);
 }
 
 double failure_probability(const Digraph& g, const graph::Partition& partition,
@@ -247,11 +444,11 @@ double worst_failure_probability(const Digraph& g,
                                  const graph::Partition& partition,
                                  const std::vector<graph::NodeId>& sinks,
                                  const std::vector<double>& p,
-                                 ExactMethod method) {
+                                 ExactMethod method, const EvalContext& ctx) {
   double worst = 0.0;
   for (graph::NodeId sink : sinks) {
-    worst = std::max(worst,
-                     failure_probability(g, partition, sink, p, method));
+    worst = std::max(worst, failure_probability(g, partition.members(0), sink,
+                                                p, ctx, method));
   }
   return worst;
 }

@@ -26,6 +26,8 @@
 
 #include "graph/digraph.hpp"
 #include "graph/partition.hpp"
+#include "rel/eval_cache.hpp"
+#include "support/thread_pool.hpp"
 
 namespace archex::rel {
 
@@ -38,6 +40,19 @@ enum class ExactMethod {
   kSeriesParallelAuto,
 };
 
+/// Optional acceleration context threaded through the exact analyzers.
+/// Both members may be null (plain serial evaluation). Only the factoring
+/// method uses them; the determinism contract (DESIGN.md) guarantees that
+/// any combination of cache state and thread count produces bit-identical
+/// results for the same inputs.
+struct EvalContext {
+  /// Memoizes every pivot subproblem of the factoring recursion, keyed by
+  /// canonical form. Shareable across calls, iterates, and threads.
+  EvalCache* cache = nullptr;
+  /// Evaluates independent factoring subtrees concurrently.
+  support::ThreadPool* pool = nullptr;
+};
+
 /// Exact probability that `sink` is cut off from every node in `sources`
 /// (including by its own failure). `p[v]` is the self-failure probability of
 /// node v; entries must lie in [0, 1].
@@ -47,6 +62,14 @@ enum class ExactMethod {
 [[nodiscard]] double failure_probability(
     const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
     graph::NodeId sink, const std::vector<double>& p,
+    ExactMethod method = ExactMethod::kFactoring,
+    std::size_t max_paths = 1u << 20);
+
+/// Accelerated variant: consults/extends `ctx.cache` at every factoring
+/// pivot subproblem and evaluates independent subtrees on `ctx.pool`.
+[[nodiscard]] double failure_probability(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p, const EvalContext& ctx,
     ExactMethod method = ExactMethod::kFactoring,
     std::size_t max_paths = 1u << 20);
 
@@ -62,6 +85,7 @@ enum class ExactMethod {
 [[nodiscard]] double worst_failure_probability(
     const graph::Digraph& g, const graph::Partition& partition,
     const std::vector<graph::NodeId>& sinks, const std::vector<double>& p,
-    ExactMethod method = ExactMethod::kFactoring);
+    ExactMethod method = ExactMethod::kFactoring,
+    const EvalContext& ctx = {});
 
 }  // namespace archex::rel

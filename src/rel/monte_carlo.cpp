@@ -1,5 +1,6 @@
 #include "rel/monte_carlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 
@@ -7,83 +8,35 @@
 
 namespace archex::rel {
 
-MonteCarloResult monte_carlo_failure(const graph::Digraph& g,
-                                     const std::vector<graph::NodeId>& sources,
-                                     graph::NodeId sink,
-                                     const std::vector<double>& p,
-                                     long samples, Rng& rng) {
-  ARCHEX_REQUIRE(samples > 0, "sample count must be positive");
-  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
-                 "failure-probability vector must cover every node");
-  const auto n = static_cast<std::size_t>(g.num_nodes());
+namespace {
 
-  std::vector<bool> up(n);
-  std::vector<bool> seen(n);
+/// Raw tallies of one batch of trials; merged across shards in shard order
+/// so parallel runs reproduce serial runs bit for bit.
+struct Tally {
   long failures = 0;
-  for (long s = 0; s < samples; ++s) {
-    for (std::size_t v = 0; v < n; ++v) up[v] = !rng.next_bernoulli(p[v]);
-    // BFS from the sources over working nodes.
-    std::fill(seen.begin(), seen.end(), false);
-    std::deque<graph::NodeId> queue;
-    for (graph::NodeId src : sources) {
-      const auto si = static_cast<std::size_t>(src);
-      if (up[si] && !seen[si]) {
-        seen[si] = true;
-        queue.push_back(src);
-      }
-    }
-    bool connected = false;
-    while (!queue.empty() && !connected) {
-      const graph::NodeId u = queue.front();
-      queue.pop_front();
-      if (u == sink) {
-        connected = true;
-        break;
-      }
-      for (graph::NodeId v : g.successors(u)) {
-        const auto vi = static_cast<std::size_t>(v);
-        if (up[vi] && !seen[vi]) {
-          seen[vi] = true;
-          queue.push_back(v);
-        }
-      }
-    }
-    if (seen[static_cast<std::size_t>(sink)]) connected = true;
-    failures += connected ? 0 : 1;
-  }
+  double sum_w = 0.0;   // likelihood-ratio weights of failing samples
+  double sum_w2 = 0.0;  // their squares (variance of the biased estimator)
+};
 
-  MonteCarloResult out;
-  out.samples = samples;
-  out.estimate = static_cast<double>(failures) / static_cast<double>(samples);
-  out.std_error = std::sqrt(out.estimate * (1.0 - out.estimate) /
-                            static_cast<double>(samples));
-  return out;
-}
-
-MonteCarloResult monte_carlo_failure_biased(
-    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
-    graph::NodeId sink, const std::vector<double>& p, long samples, Rng& rng,
-    double bias) {
-  ARCHEX_REQUIRE(samples > 0, "sample count must be positive");
-  ARCHEX_REQUIRE(bias > 0.0 && bias < 1.0, "bias must lie in (0, 1)");
-  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
-                 "failure-probability vector must cover every node");
+/// Shared trial loop of the plain and importance-sampled estimators. When
+/// `biased` is set, `q` holds the inflated sampling probabilities and the
+/// weights are accumulated; otherwise every node draws with its true p.
+Tally run_trials(const graph::Digraph& g,
+                 const std::vector<graph::NodeId>& sources,
+                 graph::NodeId sink, const std::vector<double>& p,
+                 const std::vector<double>& q, bool biased, long samples,
+                 Rng& rng) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
-
-  // Biased sampling distribution: q_v = max(p_v, bias) for failable nodes;
-  // perfect nodes stay perfect (no weight contribution).
-  std::vector<double> q(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    q[v] = p[v] > 0.0 ? std::max(p[v], bias) : 0.0;
-  }
-
   std::vector<bool> up(n);
   std::vector<bool> seen(n);
-  double sum_w = 0.0;
-  double sum_w2 = 0.0;
+  Tally tally;
   for (long s = 0; s < samples; ++s) {
     double weight = 1.0;
     for (std::size_t v = 0; v < n; ++v) {
+      if (!biased) {
+        up[v] = !rng.next_bernoulli(p[v]);
+        continue;
+      }
       if (q[v] <= 0.0) {
         up[v] = true;
         continue;
@@ -92,7 +45,7 @@ MonteCarloResult monte_carlo_failure_biased(
       up[v] = !fail;
       weight *= fail ? p[v] / q[v] : (1.0 - p[v]) / (1.0 - q[v]);
     }
-    // BFS over working nodes.
+    // BFS from the sources over working nodes.
     std::fill(seen.begin(), seen.end(), false);
     std::deque<graph::NodeId> queue;
     for (graph::NodeId src : sources) {
@@ -114,11 +67,35 @@ MonteCarloResult monte_carlo_failure_biased(
       }
     }
     if (!seen[static_cast<std::size_t>(sink)]) {
-      sum_w += weight;
-      sum_w2 += weight * weight;
+      ++tally.failures;
+      tally.sum_w += weight;
+      tally.sum_w2 += weight * weight;
     }
   }
+  return tally;
+}
 
+/// Inflated sampling distribution q_v = max(p_v, bias) for failable nodes;
+/// perfect nodes stay perfect (no weight contribution).
+std::vector<double> biased_distribution(const std::vector<double>& p,
+                                        double bias) {
+  std::vector<double> q(p.size());
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    q[v] = p[v] > 0.0 ? std::max(p[v], bias) : 0.0;
+  }
+  return q;
+}
+
+MonteCarloResult finish_plain(long failures, long samples) {
+  MonteCarloResult out;
+  out.samples = samples;
+  out.estimate = static_cast<double>(failures) / static_cast<double>(samples);
+  out.std_error = std::sqrt(out.estimate * (1.0 - out.estimate) /
+                            static_cast<double>(samples));
+  return out;
+}
+
+MonteCarloResult finish_biased(double sum_w, double sum_w2, long samples) {
   MonteCarloResult out;
   out.samples = samples;
   const auto ns = static_cast<double>(samples);
@@ -127,6 +104,92 @@ MonteCarloResult monte_carlo_failure_biased(
       std::max(0.0, sum_w2 / ns - out.estimate * out.estimate);
   out.std_error = std::sqrt(variance / ns);
   return out;
+}
+
+void validate_inputs(const graph::Digraph& g, const std::vector<double>& p,
+                     long samples) {
+  ARCHEX_REQUIRE(samples > 0, "sample count must be positive");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo_failure(const graph::Digraph& g,
+                                     const std::vector<graph::NodeId>& sources,
+                                     graph::NodeId sink,
+                                     const std::vector<double>& p,
+                                     long samples, Rng& rng) {
+  validate_inputs(g, p, samples);
+  const Tally tally =
+      run_trials(g, sources, sink, p, {}, /*biased=*/false, samples, rng);
+  return finish_plain(tally.failures, samples);
+}
+
+MonteCarloResult monte_carlo_failure_biased(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p, long samples, Rng& rng,
+    double bias) {
+  validate_inputs(g, p, samples);
+  ARCHEX_REQUIRE(bias > 0.0 && bias < 1.0, "bias must lie in (0, 1)");
+  const std::vector<double> q = biased_distribution(p, bias);
+  const Tally tally =
+      run_trials(g, sources, sink, p, q, /*biased=*/true, samples, rng);
+  return finish_biased(tally.sum_w, tally.sum_w2, samples);
+}
+
+MonteCarloResult monte_carlo_failure_sharded(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p,
+    const MonteCarloOptions& options) {
+  validate_inputs(g, p, options.samples);
+  ARCHEX_REQUIRE(options.num_shards >= 1, "need at least one shard");
+  const bool biased = options.bias > 0.0;
+  if (biased) {
+    ARCHEX_REQUIRE(options.bias < 1.0, "bias must lie in (0, 1)");
+  }
+
+  const auto shards = static_cast<std::size_t>(options.num_shards);
+  // Per-shard sample counts and RNG seeds are fixed up front: the
+  // decomposition — and therefore the estimate — is independent of who
+  // executes which shard.
+  std::vector<long> shard_samples(shards);
+  const long base = options.samples / options.num_shards;
+  const long extra = options.samples % options.num_shards;
+  for (std::size_t i = 0; i < shards; ++i) {
+    shard_samples[i] = base + (static_cast<long>(i) < extra ? 1 : 0);
+  }
+  std::vector<std::uint64_t> shard_seeds(shards);
+  SplitMix64 mix(options.seed);
+  for (std::size_t i = 0; i < shards; ++i) shard_seeds[i] = mix.next();
+
+  const std::vector<double> q =
+      biased ? biased_distribution(p, options.bias) : std::vector<double>{};
+
+  std::vector<Tally> tallies(shards);
+  const auto run_shard = [&](std::size_t i) {
+    if (shard_samples[i] == 0) return;
+    Rng rng(shard_seeds[i]);
+    tallies[i] = run_trials(g, sources, sink, p, q, biased, shard_samples[i],
+                            rng);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(0, shards, run_shard);
+  } else {
+    for (std::size_t i = 0; i < shards; ++i) run_shard(i);
+  }
+
+  // Merge in ascending shard order (bit-reproducible for any thread count).
+  long failures = 0;
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (const Tally& tally : tallies) {
+    failures += tally.failures;
+    sum_w += tally.sum_w;
+    sum_w2 += tally.sum_w2;
+  }
+  return biased ? finish_biased(sum_w, sum_w2, options.samples)
+                : finish_plain(failures, options.samples);
 }
 
 }  // namespace archex::rel

@@ -1,0 +1,102 @@
+// archex/support/thread_pool.hpp
+//
+// Fixed-size thread pool: the concurrency substrate for the parallel
+// reliability analyzers (rel/) and the sharded benchmark harnesses. Design
+// goals, in order:
+//
+//  * determinism first — the pool only *schedules*; callers own the
+//    decomposition (fixed shard counts, fixed per-shard RNG streams) so that
+//    results are bit-identical for any thread count, including 1;
+//  * no surprises at num_threads() == 1 — everything runs inline on the
+//    calling thread, giving a true serial baseline for speedup measurements;
+//  * nest-safe waiting — a thread blocked in parallel_for() or
+//    Future::get()-style joins keeps draining the shared queue, so a task
+//    that itself fans out cannot deadlock the pool.
+//
+// There is deliberately no work stealing and no per-thread deque: the hot
+// paths submit a handful of coarse tasks (factoring subtrees, Monte-Carlo
+// shards), for which a single mutex-protected queue is both simpler and
+// cheaper than a stealing scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace archex::support {
+
+class ThreadPool {
+ public:
+  /// A pool that runs work on `num_threads` threads *including* the caller
+  /// (parallel_for participates): n - 1 workers are spawned. Values < 1 are
+  /// clamped to 1; 1 means fully inline execution (no threads created).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Number of hardware threads, at least 1.
+  [[nodiscard]] static int hardware_threads();
+
+  /// Schedule `fn` on a worker and return its future. With no workers the
+  /// call runs inline and the returned future is already ready.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return future;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run `body(i)` for every i in [begin, end), distributed over the pool
+  /// with the caller participating; returns when all iterations finished.
+  /// Iterations must be independent — the execution order is unspecified.
+  /// The first exception thrown by any iteration is rethrown to the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Block until `future` is ready, helping with queued pool work while
+  /// waiting (nest-safe join).
+  template <typename T>
+  T wait(std::future<T>& future) {
+    using namespace std::chrono_literals;
+    while (future.wait_for(0s) != std::future_status::ready) {
+      if (!run_one()) future.wait_for(50us);
+    }
+    return future.get();
+  }
+
+ private:
+  /// Pop and run one queued task; false when the queue was empty.
+  bool run_one();
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace archex::support

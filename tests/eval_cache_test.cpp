@@ -1,0 +1,297 @@
+// Tests for the reliability-evaluation acceleration substrate: the EvalCache
+// unit behaviour (hits, capacity, invalidation) and the determinism contract
+// of the accelerated factoring analyzer and sharded Monte Carlo — cached,
+// parallel, and cached+parallel runs must be bit-identical to the plain
+// serial evaluation for the same inputs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "rel/eval_cache.hpp"
+#include "rel/exact.hpp"
+#include "rel/monte_carlo.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace archex::rel {
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+using support::ThreadPool;
+
+EvalKey sample_key(int salt = 0) {
+  EvalKey key;
+  key.edges = {{0, 1}, {1, 2 + salt}};
+  key.probs = {0.1, 0.2, 0.3};
+  key.sources = {0};
+  key.sink = 2;
+  return key;
+}
+
+// Random DAG with sources {0, 1} and sink n-1, mirroring the rel_test
+// agreement fixture; dense enough that factoring recurses several levels.
+Digraph random_dag(std::uint64_t seed, int n, std::vector<double>& p) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(0.5)) g.add_edge(u, v);
+    }
+  }
+  p.assign(static_cast<std::size_t>(n), 0.0);
+  for (auto& v : p) v = rng.next_double() * 0.5;
+  return g;
+}
+
+// ---- cache unit behaviour ---------------------------------------------------
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache cache;
+  const EvalKey key = sample_key();
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.store(key, 0.25);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.25);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(EvalCache, DistinctKeysDoNotAlias) {
+  EvalCache cache;
+  cache.store(sample_key(0), 1.0);
+  EXPECT_FALSE(cache.lookup(sample_key(1)).has_value());
+
+  // Same structure but different probabilities is a different subproblem.
+  EvalKey tweaked = sample_key(0);
+  tweaked.probs[1] = 0.75;
+  EXPECT_FALSE(cache.lookup(tweaked).has_value());
+  EXPECT_NE(sample_key(0).hash(), tweaked.hash());
+}
+
+TEST(EvalCache, DuplicateStoreKeepsFirstValue) {
+  EvalCache cache;
+  const EvalKey key = sample_key();
+  cache.store(key, 0.5);
+  cache.store(key, 0.9);
+  EXPECT_EQ(*cache.lookup(key), 0.5);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(EvalCache, CapacityRejectsNewKeysButNotExisting) {
+  EvalCache cache(/*max_entries=*/2);
+  cache.store(sample_key(0), 0.0);
+  cache.store(sample_key(1), 1.0);
+  cache.store(sample_key(2), 2.0);  // over capacity: dropped
+  EXPECT_FALSE(cache.lookup(sample_key(2)).has_value());
+  EXPECT_TRUE(cache.lookup(sample_key(0)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  // Re-storing a resident key at capacity is not a rejection.
+  cache.store(sample_key(0), 0.0);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(EvalCache, ClearInvalidatesEntriesButKeepsCounters) {
+  EvalCache cache;
+  cache.store(sample_key(), 0.5);
+  (void)cache.lookup(sample_key());
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Entries are gone: the same key misses and can be restored with a new
+  // value (this is the invalidation path for changed inputs).
+  EXPECT_FALSE(cache.lookup(sample_key()).has_value());
+  cache.store(sample_key(), 0.75);
+  EXPECT_EQ(*cache.lookup(sample_key()), 0.75);
+}
+
+// ---- determinism contract: factoring ----------------------------------------
+
+TEST(EvalCacheDeterminism, CachedFactoringBitIdenticalToPlain) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    std::vector<double> p;
+    const Digraph g = random_dag(seed * 7919, 9, p);
+    const std::vector<NodeId> sources{0, 1};
+    const NodeId sink = g.num_nodes() - 1;
+
+    const double plain = failure_probability(g, sources, sink, p);
+
+    EvalCache cache;
+    EvalContext ctx;
+    ctx.cache = &cache;
+    const double cold = failure_probability(g, sources, sink, p, ctx);
+    const double warm = failure_probability(g, sources, sink, p, ctx);
+
+    EXPECT_EQ(plain, cold) << "seed " << seed;   // bit-identical, not NEAR
+    EXPECT_EQ(plain, warm) << "seed " << seed;
+    // The second evaluation must be answered from the cache.
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+}
+
+TEST(EvalCacheDeterminism, CacheSharedAcrossSimilarGraphs) {
+  // Two graphs differing in one edge can share factoring subproblems (once
+  // the recursion conditions the edge's endpoint Down, the canonical keys
+  // coincide): the second evaluation must see hits even though the
+  // top-level key differs. Sharing depends on pivot order, so this pins a
+  // (seed, edge) pair verified to overlap on ~20 subproblems.
+  std::vector<double> p;
+  const Digraph g = random_dag(7, 10, p);
+  Digraph g2 = g;
+  g2.add_edge(0, 5);
+
+  EvalCache cache;
+  EvalContext ctx;
+  ctx.cache = &cache;
+  (void)failure_probability(g, {0, 1}, g.num_nodes() - 1, p, ctx);
+  const auto before = cache.stats();
+  const double accelerated =
+      failure_probability(g2, {0, 1}, g.num_nodes() - 1, p, ctx);
+  const auto after = cache.stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(accelerated, failure_probability(g2, {0, 1}, g.num_nodes() - 1, p));
+}
+
+TEST(EvalCacheDeterminism, ParallelFactoringBitIdenticalToSerial) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<double> p;
+    const Digraph g = random_dag(seed * 104729, 10, p);
+    const std::vector<NodeId> sources{0, 1};
+    const NodeId sink = g.num_nodes() - 1;
+
+    const double serial = failure_probability(g, sources, sink, p);
+
+    // Pool only.
+    EvalContext pool_ctx;
+    pool_ctx.pool = &pool;
+    EXPECT_EQ(serial, failure_probability(g, sources, sink, p, pool_ctx))
+        << "seed " << seed;
+
+    // Pool + shared cache (the production configuration).
+    EvalCache cache;
+    EvalContext full_ctx;
+    full_ctx.pool = &pool;
+    full_ctx.cache = &cache;
+    EXPECT_EQ(serial, failure_probability(g, sources, sink, p, full_ctx))
+        << "seed " << seed;
+    EXPECT_EQ(serial, failure_probability(g, sources, sink, p, full_ctx))
+        << "seed " << seed;  // warm-cache parallel rerun
+  }
+}
+
+TEST(EvalCacheDeterminism, WorstSinkEvaluationUsesContext) {
+  std::vector<double> p;
+  const Digraph g = random_dag(31337, 9, p);
+  const graph::Partition part({0, 0, 1, 1, 1, 1, 1, 2, 2});
+  const std::vector<NodeId> sinks{7, 8};
+
+  const double plain = worst_failure_probability(g, part, sinks, p);
+  EvalCache cache;
+  ThreadPool pool(3);
+  const double accelerated = worst_failure_probability(
+      g, part, sinks, p, ExactMethod::kFactoring, {&cache, &pool});
+  EXPECT_EQ(plain, accelerated);
+  EXPECT_GT(cache.stats().misses, 0u);
+}
+
+// ---- determinism contract: sharded Monte Carlo ------------------------------
+
+TEST(ShardedMonteCarlo, ThreadCountInvariant) {
+  std::vector<double> p;
+  const Digraph g = random_dag(2024, 9, p);
+  MonteCarloOptions opt;
+  opt.samples = 20000;
+  opt.seed = 77;
+  opt.num_shards = 16;
+
+  const MonteCarloResult serial =
+      monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+  EXPECT_GT(serial.estimate, 0.0);
+  EXPECT_EQ(serial.samples, opt.samples);
+
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    opt.pool = &pool;
+    const MonteCarloResult parallel =
+        monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+    EXPECT_EQ(serial.estimate, parallel.estimate) << threads << " threads";
+    EXPECT_EQ(serial.std_error, parallel.std_error) << threads << " threads";
+  }
+}
+
+TEST(ShardedMonteCarlo, BiasedVariantThreadCountInvariant) {
+  std::vector<double> p;
+  const Digraph g = random_dag(99, 8, p);
+  MonteCarloOptions opt;
+  opt.samples = 10000;
+  opt.num_shards = 8;
+  opt.bias = 0.2;
+
+  const MonteCarloResult serial =
+      monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+  ThreadPool pool(4);
+  opt.pool = &pool;
+  const MonteCarloResult parallel =
+      monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+  EXPECT_EQ(serial.estimate, parallel.estimate);
+  EXPECT_EQ(serial.std_error, parallel.std_error);
+}
+
+TEST(ShardedMonteCarlo, MatchesExactWithinError) {
+  std::vector<double> p;
+  const Digraph g = random_dag(512, 9, p);
+  const double exact = failure_probability(g, {0, 1}, g.num_nodes() - 1, p);
+
+  MonteCarloOptions opt;
+  opt.samples = 50000;
+  ThreadPool pool(2);
+  opt.pool = &pool;
+  const MonteCarloResult mc =
+      monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+  EXPECT_NEAR(mc.estimate, exact, 5.0 * mc.std_error + 1e-3);
+}
+
+TEST(ShardedMonteCarlo, MoreShardsThanSamples) {
+  std::vector<double> p;
+  const Digraph g = random_dag(7, 6, p);
+  MonteCarloOptions opt;
+  opt.samples = 5;
+  opt.num_shards = 64;  // most shards draw nothing
+  const MonteCarloResult mc =
+      monte_carlo_failure_sharded(g, {0, 1}, g.num_nodes() - 1, p, opt);
+  EXPECT_EQ(mc.samples, 5);
+  EXPECT_GE(mc.estimate, 0.0);
+  EXPECT_LE(mc.estimate, 1.0);
+}
+
+TEST(ShardedMonteCarlo, ValidatesOptions) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const std::vector<double> p{0.1, 0.1};
+  MonteCarloOptions opt;
+  opt.samples = 0;
+  EXPECT_THROW((void)monte_carlo_failure_sharded(g, {0}, 1, p, opt),
+               PreconditionError);
+  opt.samples = 10;
+  opt.num_shards = 0;
+  EXPECT_THROW((void)monte_carlo_failure_sharded(g, {0}, 1, p, opt),
+               PreconditionError);
+  opt.num_shards = 4;
+  opt.bias = 1.5;
+  EXPECT_THROW((void)monte_carlo_failure_sharded(g, {0}, 1, p, opt),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace archex::rel

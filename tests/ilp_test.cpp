@@ -245,6 +245,27 @@ TEST(BranchAndBound, NodeLimitReported) {
   EXPECT_EQ(r.status, IlpStatus::kNodeLimit);
 }
 
+TEST(BranchAndBound, TimeLimitAbortsPromptly) {
+  // An (effectively) expired time limit must stop the search within the
+  // first node — the engine-level deadline also cuts off the node's LP
+  // relaxation instead of letting it run to completion.
+  BranchAndBoundOptions opt;
+  opt.time_limit_seconds = 1e-9;
+  opt.root_rounding_heuristic = false;
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_row(LinExpr(a) + LinExpr(b) <= 1.0);
+  m.add_row(LinExpr(b) + LinExpr(c) <= 1.0);
+  m.add_row(LinExpr(a) + LinExpr(c) <= 1.0);
+  m.set_objective(-(LinExpr(a) + LinExpr(b) + LinExpr(c)));
+  BranchAndBoundSolver solver(opt);
+  const IlpResult r = solver.solve(m);
+  EXPECT_EQ(r.status, IlpStatus::kTimeLimit);
+  EXPECT_LE(r.nodes_explored, 1);
+}
+
 // ---- Balas solver -----------------------------------------------------------
 
 TEST(Balas, RejectsNonBinaryModels) {

@@ -4,6 +4,7 @@
 // real dual-feasibility bug during development — keep it).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "lp/engine.hpp"
@@ -109,6 +110,42 @@ TEST(SimplexEngine, BoundSlackZeroWithoutPerturbation) {
   (void)engine.solve_from_scratch();
   // Tiny well-behaved LP: the anti-degeneracy perturbation never arms.
   EXPECT_DOUBLE_EQ(engine.bound_slack(), 0.0);
+}
+
+TEST(SimplexEngine, ExpiredDeadlineAbortsScratchSolve) {
+  Problem p;
+  const int x = p.add_variable(0, kInf, -3.0);
+  const int y = p.add_variable(0, kInf, -5.0);
+  p.add_constraint({{x, 1.0}}, -kInf, 4.0);
+  p.add_constraint({{y, 2.0}}, -kInf, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, -kInf, 18.0);
+
+  SimplexEngine engine(p);
+  engine.set_deadline(std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1));
+  const Solution s = engine.solve_from_scratch();
+  EXPECT_EQ(s.status, SolveStatus::kTimeLimit);
+  // Dropping the deadline restores normal operation on the same engine.
+  engine.clear_deadline();
+  EXPECT_EQ(engine.solve_from_scratch().status, SolveStatus::kOptimal);
+}
+
+TEST(SimplexEngine, ExpiredDeadlinePropagatesThroughReoptimize) {
+  Problem p;
+  const int x = p.add_variable(0, 1, -1.0);
+  const int y = p.add_variable(0, 1, -1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, -kInf, 1.5);
+  SimplexEngine engine(p);
+  ASSERT_EQ(engine.solve_from_scratch().status, SolveStatus::kOptimal);
+
+  // reoptimize() must report the deadline, NOT fall back to a scratch solve
+  // (which would keep pivoting past the limit).
+  engine.set_variable_bounds(0, 0.0, 0.0);
+  engine.set_deadline(std::chrono::steady_clock::now() -
+                      std::chrono::seconds(1));
+  const Solution s = engine.reoptimize();
+  EXPECT_EQ(s.status, SolveStatus::kTimeLimit);
+  EXPECT_EQ(engine.stats().dual_fallbacks, 0);
 }
 
 // The property test that matters: arbitrary interleavings of fixes and

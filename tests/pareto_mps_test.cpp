@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "core/pareto.hpp"
 #include "eps/eps_template.hpp"
 #include "ilp/mps.hpp"
 #include "ilp/solver.hpp"
+#include "rel/eval_cache.hpp"
 
 namespace archex {
 namespace {
@@ -67,6 +70,77 @@ TEST(Pareto, SweepsUntilTemplateExhausted) {
   // sweep must end in UNFEASIBLE (exhaustion), not in a solver failure.
   EXPECT_EQ(frontier.terminal_status, core::SynthesisStatus::kUnfeasible);
   EXPECT_LE(frontier.points.back().approx_failure, 1.1e-3);
+}
+
+/// Solves the first model genuinely, then replays that solution for every
+/// later call — so each tightened step re-achieves the same r̃ and the sweep
+/// stalls deterministically.
+class ReplaySolver final : public ilp::IlpSolver {
+ public:
+  [[nodiscard]] ilp::IlpResult solve(const ilp::Model& model) override {
+    if (!cached_) cached_ = inner_.solve(model);
+    return *cached_;
+  }
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  ilp::BranchAndBoundSolver inner_;
+  std::optional<ilp::IlpResult> cached_;
+};
+
+TEST(Pareto, StalledStepIsDroppedAndRecorded) {
+  const SweepFixture fx;
+  ReplaySolver solver;
+
+  core::ParetoOptions opt;
+  opt.initial_target = 5e-2;
+  opt.tighten_factor = 0.5;
+  opt.max_points = 8;
+
+  const core::ParetoFrontier frontier = core::sweep_pareto_frontier(
+      [&] { return fx.make_ilp(); }, solver, opt);
+
+  // Step 2 replays step 1's architecture: its r̃ does not improve, so the
+  // sweep must stop WITHOUT pushing the dominated point onto the frontier
+  // (the frontier stays strictly decreasing in r̃) and record the stall.
+  ASSERT_EQ(frontier.points.size(), 1u);
+  EXPECT_TRUE(frontier.tightening_stalled);
+  EXPECT_EQ(frontier.terminal_status, core::SynthesisStatus::kSuccess);
+  EXPECT_LT(frontier.stalled_target, frontier.points[0].target);
+  EXPECT_DOUBLE_EQ(frontier.stalled_approx_failure,
+                   frontier.points[0].approx_failure);
+}
+
+TEST(Pareto, SharedCacheAccumulatesAcrossSweepPoints) {
+  const SweepFixture fx;
+  ilp::BranchAndBoundSolver solver;
+
+  rel::EvalCache cache;
+  core::ParetoOptions opt;
+  opt.initial_target = 5e-2;
+  opt.max_points = 8;
+  opt.cache = &cache;
+
+  const core::ParetoFrontier cached = core::sweep_pareto_frontier(
+      [&] { return fx.make_ilp(); }, solver, opt);
+  ASSERT_GE(cached.points.size(), 2u);
+  // Every sweep point ran its exact evaluation through the shared cache.
+  EXPECT_GT(cache.stats().misses, 0u);
+
+  // And the accelerated sweep is bit-identical to the plain one.
+  const core::ParetoFrontier plain = core::sweep_pareto_frontier(
+      [&] { return fx.make_ilp(); }, solver,
+      [] {
+        core::ParetoOptions o;
+        o.initial_target = 5e-2;
+        o.max_points = 8;
+        return o;
+      }());
+  ASSERT_EQ(plain.points.size(), cached.points.size());
+  for (std::size_t i = 0; i < plain.points.size(); ++i) {
+    EXPECT_EQ(plain.points[i].exact_failure, cached.points[i].exact_failure);
+    EXPECT_EQ(plain.points[i].cost, cached.points[i].cost);
+  }
 }
 
 TEST(Pareto, ValidatesOptions) {

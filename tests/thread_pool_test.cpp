@@ -1,0 +1,104 @@
+// Tests for archex::support::ThreadPool: inline single-thread mode, futures,
+// parallel_for coverage and exception propagation, and nest-safety (a task
+// that itself fans out must not deadlock the pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace archex::support {
+namespace {
+
+TEST(ThreadPool, ClampsThreadCount) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  for (int n : {1, 3}) {
+    ThreadPool pool(n);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(pool.wait(future), 42);
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  for (int n : {1, 3}) {
+    ThreadPool pool(n);
+    auto future =
+        pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW((void)pool.wait(future), std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (int n : {1, 2, 5}) {
+    ThreadPool pool(n);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> touched(kCount);
+    pool.parallel_for(0, kCount, [&](std::size_t i) { ++touched[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  for (int n : {1, 4}) {
+    ThreadPool pool(n);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [&](std::size_t i) {
+                                     if (i == 13) {
+                                       throw std::runtime_error("unlucky");
+                                     }
+                                     ++completed;
+                                   }),
+                 std::runtime_error);
+    EXPECT_LE(completed.load(), 99);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every outer iteration fans out again on the same pool; with blocking
+  // joins this would deadlock as soon as all workers wait on inner tasks.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t j) {
+      total += static_cast<long>(j);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(ThreadPool, ManySmallTasksViaSubmit) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  futures.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  long total = 0;
+  for (auto& f : futures) total += pool.wait(f);
+  EXPECT_EQ(total, 199L * 200 / 2);
+}
+
+}  // namespace
+}  // namespace archex::support
