@@ -1,0 +1,45 @@
+// archex/bench/bench_json.hpp
+//
+// Machine-readable benchmark output: each bench executable owns one
+// top-level section of BENCH_solver.json and rewrites only that section,
+// so `bench_table2` and `bench_solver_ablation` (and future harnesses) can
+// append to the same file in any order without clobbering each other.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace archex::bench {
+
+/// Merge `payload` into the JSON object stored at `path` under key
+/// `section`, creating the file (or replacing unparseable content) as
+/// needed. Returns false when the file cannot be written.
+inline bool write_bench_section(const std::string& path,
+                                const std::string& section,
+                                json::Value payload) {
+  json::Object root;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        const json::Value existing = json::parse(buffer.str());
+        if (existing.is_object()) root = existing.as_object();
+      } catch (const json::JsonError&) {
+        // Corrupt or hand-edited file: start over with just our section.
+      }
+    }
+  }
+  root[section] = std::move(payload);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json::dump(json::Value(std::move(root)), 2) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace archex::bench

@@ -1,72 +1,181 @@
-// Ablation: the two bundled ILP engines on the architecture-selection
-// models. LP-based branch & bound vs Balas implicit enumeration (no LP).
-// The base EPS ILP's LP relaxation is informative, so B&B explores few
-// nodes; Balas relies on per-row interval pruning only and degrades fast
-// with variable count — quantifying why the LP machinery is worth its
-// complexity.
-#include <benchmark/benchmark.h>
+// Ablation: ILP engines on the architecture-selection models.
+//
+// Two axes on one instance ladder:
+//  * LP-based branch & bound vs Balas implicit enumeration (no LP) — the
+//    base EPS ILP's relaxation is informative, so B&B explores few nodes,
+//    while Balas' per-row interval pruning degrades fast with size;
+//  * sparse LU + eta-file basis vs the dense explicit-inverse oracle inside
+//    the simplex engine — same pivot rules, different linear algebra; the
+//    ILP-AR encodings are the large instances where per-pivot cost matters.
+//
+// Besides the human-readable table, every run is appended to a JSON report
+// (default BENCH_solver.json, --json=PATH to override) under the
+// "solver_ablation" key: per-instance solve time, objective, nodes, pivots
+// and the eta/refactorization/presolve counters, plus the sparse-vs-dense
+// speedup on the largest ILP-AR instance.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/arch_ilp.hpp"
+#include "core/ilp_ar.hpp"
 #include "eps/eps_template.hpp"
 #include "ilp/solver.hpp"
+#include "support/table.hpp"
 
 namespace {
 
 using namespace archex;
 
-/// Base EPS ILP (interconnection + power rules, no reliability) for g gens.
-/// NOTE: rebuilt per iteration; both solvers share identical models.
-core::ArchitectureIlp make_model(int generators) {
-  eps::EpsSpec spec;
-  spec.num_generators = generators;
-  static std::vector<std::unique_ptr<eps::EpsTemplate>> keep_alive;
-  keep_alive.push_back(
-      std::make_unique<eps::EpsTemplate>(eps::make_eps_template(spec)));
-  return eps::make_eps_ilp(*keep_alive.back());
-}
+struct Instance {
+  std::string name;
+  int generators = 0;
+  bool reliability = false;   // append the ILP-AR encoding
+  double target = 0.0;        // r* for the encoding
+  bool run_balas = false;     // Balas explodes beyond the small sizes
+};
 
-void BM_BranchAndBound(benchmark::State& state) {
-  core::ArchitectureIlp ilp = make_model(static_cast<int>(state.range(0)));
-  ilp::BranchAndBoundSolver solver;
-  double obj = 0.0;
-  long nodes = 0;
-  for (auto _ : state) {
-    const ilp::IlpResult res = solver.solve(ilp.model());
-    if (!res.optimal()) state.SkipWithError("B&B failed");
-    obj = res.objective;
-    nodes = res.nodes_explored;
-  }
-  state.counters["objective"] = obj;
-  state.counters["nodes"] = static_cast<double>(nodes);
-}
+struct RunRecord {
+  std::string engine;
+  ilp::IlpResult result;
+};
 
-void BM_BalasEnumeration(benchmark::State& state) {
-  core::ArchitectureIlp ilp = make_model(static_cast<int>(state.range(0)));
-  ilp::BalasOptions opt;
-  opt.max_nodes = 200'000'000;
-  opt.time_limit_seconds = 30.0;  // g=2 exceeds any reasonable budget; the
-                                  // point is made by the skip itself
-  ilp::BalasSolver solver(opt);
-  double obj = 0.0;
-  long nodes = 0;
-  for (auto _ : state) {
-    const ilp::IlpResult res = solver.solve(ilp.model());
-    if (!res.optimal()) {
-      state.SkipWithError("Balas hit its node/time limit");
-      return;
-    }
-    obj = res.objective;
-    nodes = res.nodes_explored;
-  }
-  state.counters["objective"] = obj;
-  state.counters["nodes"] = static_cast<double>(nodes);
+json::Value run_to_json(const RunRecord& run) {
+  const auto count = [](long v) {
+    return json::Value(static_cast<long long>(v));
+  };
+  json::Object o;
+  o["engine"] = run.engine;
+  o["status"] = to_string(run.result.status);
+  o["seconds"] = run.result.solve_seconds;
+  o["objective"] = run.result.objective;
+  o["nodes"] = count(run.result.nodes_explored);
+  o["lp_pivots"] = count(run.result.lp_pivots);
+  o["lp_scratch_solves"] = count(run.result.lp_scratch_solves);
+  o["lp_dual_reopts"] = count(run.result.lp_dual_reopts);
+  o["lp_dual_fallbacks"] = count(run.result.lp_dual_fallbacks);
+  o["lp_factorizations"] = count(run.result.lp_factorizations);
+  o["lp_eta_updates"] = count(run.result.lp_eta_updates);
+  o["lp_refactor_eta"] = count(run.result.lp_refactor_eta);
+  o["lp_refactor_drift"] = count(run.result.lp_refactor_drift);
+  o["lp_max_eta_len"] = count(run.result.lp_max_eta_len);
+  o["presolve_fixed_variables"] = count(run.result.presolve_fixed_variables);
+  o["presolve_rows_removed"] = count(run.result.presolve_rows_removed);
+  o["presolve_bound_tightenings"] =
+      count(run.result.presolve_bound_tightenings);
+  return o;
 }
-
-BENCHMARK(BM_BranchAndBound)->Arg(1)->Arg(2)->Arg(3)
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_BalasEnumeration)->Arg(1)->Arg(2)
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  // The largest ILP-AR instance comes last; its sparse/dense pair feeds the
+  // headline speedup number.
+  const std::vector<Instance> instances = {
+      {"eps-base-g1", 1, false, 0.0, true},
+      {"eps-base-g2", 2, false, 0.0, true},
+      {"eps-base-g3", 3, false, 0.0, false},
+      {"ilp-ar-g1", 1, true, 2e-3, false},
+      {"ilp-ar-g2", 2, true, 2e-6, false},
+  };
+
+  std::puts("=== Solver ablation: B&B (sparse/dense basis) vs Balas ===\n");
+  TextTable table({"instance", "vars", "rows", "engine", "status", "time (s)",
+                   "cost", "nodes", "pivots", "etas", "refactors"});
+
+  json::Array instances_json;
+  double largest_sparse_s = 0.0, largest_dense_s = 0.0;
+  std::string largest_name;
+
+  for (const Instance& inst : instances) {
+    eps::EpsSpec spec;
+    spec.num_generators = inst.generators;
+    const eps::EpsTemplate eps = eps::make_eps_template(spec);
+    core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+    if (inst.reliability) {
+      core::IlpArOptions options;
+      options.target_failure = inst.target;
+      core::encode_ilp_ar(ilp, options);
+    }
+    const ilp::Model& model = ilp.model();
+
+    std::vector<RunRecord> runs;
+    for (const bool dense : {false, true}) {
+      ilp::BranchAndBoundOptions bopt;
+      bopt.time_limit_seconds = 120.0;
+      bopt.lp.dense_basis = dense;
+      ilp::BranchAndBoundSolver solver(bopt);
+      runs.push_back({dense ? "bnb-dense" : "bnb-sparse", solver.solve(model)});
+    }
+    if (inst.run_balas && model.pure_binary()) {
+      ilp::BalasOptions bopt;
+      bopt.max_nodes = 200'000'000;
+      bopt.time_limit_seconds = 10.0;  // the limit status IS the data point
+      ilp::BalasSolver solver(bopt);
+      runs.push_back({"balas", solver.solve(model)});
+    }
+
+    for (const RunRecord& run : runs) {
+      table.add_row(
+          {inst.name, format_count(model.num_variables()),
+           format_count(model.num_rows()), run.engine,
+           to_string(run.result.status),
+           format_fixed(run.result.solve_seconds, 3),
+           run.result.optimal() ? format_fixed(run.result.objective, 0) : "-",
+           format_count(run.result.nodes_explored),
+           format_count(run.result.lp_pivots),
+           format_count(run.result.lp_eta_updates),
+           format_count(run.result.lp_factorizations)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::fflush(stdout);
+    std::puts("");
+
+    json::Object record;
+    record["instance"] = inst.name;
+    record["generators"] = inst.generators;
+    record["variables"] = model.num_variables();
+    record["rows"] = model.num_rows();
+    json::Array runs_json;
+    for (const RunRecord& run : runs) runs_json.push_back(run_to_json(run));
+    record["runs"] = std::move(runs_json);
+    instances_json.push_back(std::move(record));
+
+    if (inst.reliability) {
+      largest_name = inst.name;
+      largest_sparse_s = runs[0].result.solve_seconds;
+      largest_dense_s = runs[1].result.solve_seconds;
+    }
+  }
+
+  const double speedup =
+      largest_sparse_s > 0.0 ? largest_dense_s / largest_sparse_s : 0.0;
+  std::printf("sparse-basis speedup on %s: %.2fx (dense %.3fs / sparse %.3fs)\n",
+              largest_name.c_str(), speedup, largest_dense_s,
+              largest_sparse_s);
+
+  json::Object section;
+  section["instances"] = std::move(instances_json);
+  section["largest_instance"] = largest_name;
+  section["largest_dense_seconds"] = largest_dense_s;
+  section["largest_sparse_seconds"] = largest_sparse_s;
+  section["sparse_speedup_largest"] = speedup;
+  if (!bench::write_bench_section(json_path, "solver_ablation",
+                                  json::Value(std::move(section)))) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (section \"solver_ablation\")\n", json_path.c_str());
+  return 0;
+}

@@ -21,7 +21,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/ilp_mr.hpp"
 #include "eps/eps_template.hpp"
 #include "ilp/solver.hpp"
@@ -55,11 +57,16 @@ core::IlpMrReport run(const eps::EpsTemplate& eps, double target, bool lazy,
 
 int main(int argc, char** argv) {
   int threads = 1;
+  std::string json_path = "BENCH_solver.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
   if (threads < 1) threads = 1;
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"|V| (gens)", "strategy", "status", "#iterations",
                    "analysis (s)", "solver (s)", "cost", "failure r"});
+  json::Array runs_json;
   for (const Row& row : rows) {
     eps::EpsSpec spec;
     spec.num_generators = row.generators;
@@ -95,6 +103,21 @@ int main(int argc, char** argv) {
       if (lazy && !row.run_lazy) continue;
       const core::IlpMrReport rep =
           run(eps, row.target, lazy, &cache, &pool);
+      {
+        json::Object o;
+        o["generators"] = row.generators;
+        o["target_failure"] = row.target;
+        o["strategy"] = lazy ? "lazy" : "learncons";
+        o["status"] = to_string(rep.status);
+        o["iterations"] = rep.num_iterations();
+        o["analysis_seconds"] = rep.analysis_seconds;
+        o["solver_seconds"] = rep.solver_seconds;
+        if (rep.configuration) {
+          o["cost"] = rep.configuration->total_cost();
+          o["failure"] = rep.failure;
+        }
+        runs_json.push_back(std::move(o));
+      }
       const int v = 5 * row.generators + 1;
       table.add_row(
           {std::to_string(v) + " (" + std::to_string(row.generators) + ")",
@@ -122,5 +145,22 @@ int main(int argc, char** argv) {
   std::puts("expected shape (paper): LEARNCONS needs a near-constant ~3 "
             "iterations; the lazy strategy's iteration count and analysis "
             "time grow steeply with |V|.");
+
+  json::Object section;
+  section["threads"] = threads;
+  section["runs"] = std::move(runs_json);
+  {
+    json::Object cache_json;
+    cache_json["hits"] = static_cast<long long>(stats.hits);
+    cache_json["misses"] = static_cast<long long>(stats.misses);
+    cache_json["entries"] = static_cast<long long>(stats.size);
+    section["eval_cache"] = std::move(cache_json);
+  }
+  if (!bench::write_bench_section(json_path, "table2",
+                                  json::Value(std::move(section)))) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (section \"table2\")\n", json_path.c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 // loosely-constrained architecture-synthesis models its bound is much weaker
 // than the LP relaxation, which is exactly the point of the comparison.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -34,6 +35,13 @@ class BalasSearch {
 
   IlpResult run() {
     watch_.start();
+    // Same wall-clock discipline as branch & bound: a precomputed deadline
+    // polled inside the enumeration loop, so the abort lands within a few
+    // hundred nodes of the limit instead of whenever a coarse check next
+    // fires.
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(opt_.time_limit_seconds));
     value_.assign(static_cast<std::size_t>(n_), 0);
     fixed_.assign(static_cast<std::size_t>(n_), false);
     dive(0, 0.0);
@@ -102,8 +110,8 @@ class BalasSearch {
       abort_status_ = IlpStatus::kNodeLimit;
       return;
     }
-    if ((nodes_ & 0x3ff) == 0 &&
-        watch_.elapsed_seconds() > opt_.time_limit_seconds) {
+    if ((nodes_ & 0xff) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
       aborted_ = true;
       abort_status_ = IlpStatus::kTimeLimit;
       return;
@@ -191,6 +199,7 @@ class BalasSearch {
   IlpStatus abort_status_ = IlpStatus::kNumericFailure;
   long nodes_ = 0;
   Stopwatch watch_;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "ilp/solver.hpp"
 #include "lp/engine.hpp"
+#include "lp/presolve.hpp"
 #include "lp/simplex.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -38,8 +39,8 @@ class Search {
   Search(const Model& model, const BranchAndBoundOptions& options)
       : model_(model),
         opt_(options),
-        lp_(model.to_lp()),
-        engine_(lp_, lp::SimplexOptions{}) {
+        pre_(make_presolve(model, options)),
+        engine_(pre_.reduced, options.lp) {
     for (int j = 0; j < model.num_variables(); ++j) {
       if (model.is_integral(Var{j})) integral_.push_back(j);
     }
@@ -58,7 +59,9 @@ class Search {
                                  opt_.time_limit_seconds)));
     IlpResult out;
 
-    dive();
+    // Presolve can prove infeasibility outright (conflicting bounds, an
+    // integral column fixed at a fractional value, an unsatisfiable row).
+    if (!pre_.infeasible) dive();
 
     out.nodes_explored = nodes_;
     out.lp_pivots = lp_pivots_;
@@ -68,6 +71,14 @@ class Search {
     out.lp_dual_limit = engine_.stats().dual_limit;
     out.lp_dual_numeric = engine_.stats().dual_numeric;
     out.lp_restore_fallbacks = engine_.stats().restore_fallbacks;
+    out.lp_factorizations = engine_.stats().factorizations;
+    out.lp_eta_updates = engine_.stats().eta_updates;
+    out.lp_refactor_eta = engine_.stats().refactor_eta;
+    out.lp_refactor_drift = engine_.stats().refactor_drift;
+    out.lp_max_eta_len = engine_.stats().max_eta_len;
+    out.presolve_fixed_variables = pre_.stats.fixed_variables;
+    out.presolve_rows_removed = pre_.stats.rows_removed();
+    out.presolve_bound_tightenings = pre_.stats.bound_tightenings;
     out.solve_seconds = watch_.elapsed_seconds();
     if (have_incumbent_) {
       // A limit may have stopped the proof of optimality, but an incumbent
@@ -82,6 +93,34 @@ class Search {
   }
 
  private:
+  /// Lower the model to an LP and presolve it (or wrap it in an identity
+  /// reduction when presolve is off). Branching and incumbent checks all
+  /// happen in the model's variable space via pre_.postsolve()/var_map.
+  static lp::PresolveResult make_presolve(const Model& model,
+                                          const BranchAndBoundOptions& opt) {
+    lp::Problem full = model.to_lp();
+    if (!opt.presolve) {
+      lp::PresolveResult identity;
+      identity.var_map.resize(
+          static_cast<std::size_t>(model.num_variables()));
+      for (int j = 0; j < model.num_variables(); ++j) {
+        identity.var_map[static_cast<std::size_t>(j)] = j;
+      }
+      identity.fixed_value.assign(
+          static_cast<std::size_t>(model.num_variables()), 0.0);
+      identity.reduced = std::move(full);
+      return identity;
+    }
+    std::vector<bool> integer_cols(
+        static_cast<std::size_t>(full.num_variables()), false);
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.is_integral(Var{j})) {
+        integer_cols[static_cast<std::size_t>(j)] = true;
+      }
+    }
+    return lp::presolve(full, integer_cols);
+  }
+
   void abort_with(IlpStatus status) {
     aborted_ = true;
     abort_status_ = status;
@@ -121,26 +160,35 @@ class Search {
 
     // The engine's anti-degeneracy perturbation can inflate the reported
     // bound by at most bound_slack(); subtract it so pruning stays safe.
+    // rel.objective lives in reduced space: add the presolve offset to
+    // compare against the incumbent.
     if (have_incumbent_ &&
-        rel.objective - engine_.bound_slack() >= prune_threshold()) {
+        rel.objective + pre_.objective_offset - engine_.bound_slack() >=
+            prune_threshold()) {
       return;
     }
 
-    const int frac = pick_branch_variable(rel.x);
+    // Branching and incumbent tests use the model's variable space.
+    const std::vector<double> full_x = pre_.postsolve(rel.x);
+    const int frac = pick_branch_variable(full_x);
     if (frac < 0) {
       // Integral solution: snap and record.
-      try_accept_incumbent(rel.x);
+      try_accept_incumbent(full_x);
       return;
     }
 
     if (nodes_ == 1 && opt_.root_rounding_heuristic) {
-      try_accept_incumbent(rel.x);
+      try_accept_incumbent(full_x);
     }
 
-    const auto jf = static_cast<std::size_t>(frac);
-    const double value = rel.x[jf];
-    const double saved_lo = engine_.col_lo(frac);
-    const double saved_up = engine_.col_up(frac);
+    // Presolve never fixes a column at a fractional value (it would have
+    // declared infeasibility), so a fractional variable maps to a live
+    // reduced column.
+    const int rj = pre_.var_map[static_cast<std::size_t>(frac)];
+    ARCHEX_ASSERT(rj >= 0, "fractional variable was presolved away");
+    const double value = full_x[static_cast<std::size_t>(frac)];
+    const double saved_lo = engine_.col_lo(rj);
+    const double saved_up = engine_.col_up(rj);
     const double floor_v = std::floor(value);
     const double ceil_v = floor_v + 1.0;
 
@@ -150,13 +198,13 @@ class Search {
       const bool down = (side == 0) == down_first;
       if (down) {
         if (floor_v < saved_lo) continue;
-        engine_.set_variable_bounds(frac, saved_lo, floor_v);
+        engine_.set_variable_bounds(rj, saved_lo, floor_v);
       } else {
         if (ceil_v > saved_up) continue;
-        engine_.set_variable_bounds(frac, ceil_v, saved_up);
+        engine_.set_variable_bounds(rj, ceil_v, saved_up);
       }
       dive();
-      engine_.set_variable_bounds(frac, saved_lo, saved_up);
+      engine_.set_variable_bounds(rj, saved_lo, saved_up);
       if (aborted_) return;
     }
   }
@@ -222,7 +270,7 @@ class Search {
 
   const Model& model_;
   BranchAndBoundOptions opt_;
-  lp::Problem lp_;
+  lp::PresolveResult pre_;
   lp::SimplexEngine engine_;
   std::vector<int> integral_;
   bool objective_integral_ = false;

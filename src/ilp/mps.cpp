@@ -1,10 +1,15 @@
 #include "ilp/mps.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lp/problem.hpp"
+#include "support/check.hpp"
 #include "support/strings.hpp"
 
 namespace archex::ilp {
@@ -148,6 +153,249 @@ std::string to_mps(const Model& model, const std::string& name) {
 
   os << "ENDATA\n";
   return os.str();
+}
+
+namespace {
+
+// Intermediate column record: the Model API wants kind and bounds at
+// add-variable time, but MPS reveals them only after BOUNDS, so parsing
+// stages everything and builds the Model at ENDATA.
+struct MpsColumn {
+  std::string name;
+  bool integral = false;
+  double obj = 0.0;
+  std::vector<std::pair<int, double>> terms;  // (row index, coefficient)
+  double lo = 0.0;
+  double up = lp::kInf;
+  bool binary = false;
+};
+
+double parse_num(const std::string& tok) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (...) {
+    used = 0;
+  }
+  ARCHEX_REQUIRE(used == tok.size(), "MPS: malformed number '" + tok + "'");
+  return v;
+}
+
+}  // namespace
+
+Model from_mps(const std::string& text) {
+  enum class Section { kNone, kRows, kColumns, kRhs, kRanges, kBounds, kDone };
+  Section section = Section::kNone;
+
+  std::vector<char> sense;            // per constraint row: E/L/G
+  std::vector<std::string> row_names;
+  std::unordered_map<std::string, int> row_index;  // constraint rows only
+  std::string objective_row;
+
+  std::vector<MpsColumn> cols;
+  std::unordered_map<std::string, std::size_t> col_index;
+  std::vector<double> rhs;
+  std::vector<double> range;
+  std::vector<bool> has_range;
+  bool in_int_block = false;
+
+  const auto col_at = [&](const std::string& name) -> MpsColumn& {
+    auto it = col_index.find(name);
+    if (it == col_index.end()) {
+      it = col_index.emplace(name, cols.size()).first;
+      cols.push_back({});
+      cols.back().name = name;
+      cols.back().integral = in_int_block;
+    }
+    return cols[it->second];
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '*') continue;
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(std::move(t));
+    if (tok.empty()) continue;
+
+    // Section headers start in column 0; data records are indented.
+    if (line[0] != ' ' && line[0] != '\t') {
+      const std::string& head = tok[0];
+      if (head == "NAME") continue;  // model name: ignored
+      if (head == "ROWS") { section = Section::kRows; continue; }
+      if (head == "COLUMNS") { section = Section::kColumns; continue; }
+      if (head == "RHS") { section = Section::kRhs; continue; }
+      if (head == "RANGES") { section = Section::kRanges; continue; }
+      if (head == "BOUNDS") { section = Section::kBounds; continue; }
+      if (head == "ENDATA") { section = Section::kDone; break; }
+      ARCHEX_REQUIRE(false, "MPS: unknown section '" + head + "'");
+    }
+
+    switch (section) {
+      case Section::kRows: {
+        ARCHEX_REQUIRE(tok.size() == 2, "MPS: ROWS record needs sense + name");
+        const char s = static_cast<char>(tok[0][0]);
+        if (s == 'N' || s == 'n') {
+          if (objective_row.empty()) objective_row = tok[1];
+          // Additional free rows are legal MPS; they carry no constraint.
+          continue;
+        }
+        ARCHEX_REQUIRE(s == 'E' || s == 'L' || s == 'G',
+                       "MPS: unknown row sense '" + tok[0] + "'");
+        ARCHEX_REQUIRE(row_index.emplace(tok[1],
+                                         static_cast<int>(sense.size()))
+                           .second,
+                       "MPS: duplicate row name '" + tok[1] + "'");
+        sense.push_back(s);
+        row_names.push_back(tok[1]);
+        rhs.push_back(0.0);
+        range.push_back(0.0);
+        has_range.push_back(false);
+        break;
+      }
+      case Section::kColumns: {
+        if (tok.size() >= 3 && tok[1] == "'MARKER'") {
+          if (tok[2] == "'INTORG'") in_int_block = true;
+          else if (tok[2] == "'INTEND'") in_int_block = false;
+          else ARCHEX_REQUIRE(false, "MPS: unknown marker '" + tok[2] + "'");
+          continue;
+        }
+        ARCHEX_REQUIRE(tok.size() == 3 || tok.size() == 5,
+                       "MPS: COLUMNS record needs 1 or 2 (row, value) pairs");
+        MpsColumn& col = col_at(tok[0]);
+        for (std::size_t p = 1; p + 1 < tok.size(); p += 2) {
+          const double v = parse_num(tok[p + 1]);
+          if (tok[p] == objective_row) {
+            col.obj += v;
+            continue;
+          }
+          const auto it = row_index.find(tok[p]);
+          ARCHEX_REQUIRE(it != row_index.end(),
+                         "MPS: COLUMNS references unknown row '" + tok[p] +
+                             "'");
+          col.terms.push_back({it->second, v});
+        }
+        break;
+      }
+      case Section::kRhs: {
+        ARCHEX_REQUIRE(tok.size() == 3 || tok.size() == 5,
+                       "MPS: RHS record needs 1 or 2 (row, value) pairs");
+        for (std::size_t p = 1; p + 1 < tok.size(); p += 2) {
+          if (tok[p] == objective_row) continue;  // -objective constant: lost
+          const auto it = row_index.find(tok[p]);
+          ARCHEX_REQUIRE(it != row_index.end(),
+                         "MPS: RHS references unknown row '" + tok[p] + "'");
+          rhs[static_cast<std::size_t>(it->second)] = parse_num(tok[p + 1]);
+        }
+        break;
+      }
+      case Section::kRanges: {
+        ARCHEX_REQUIRE(tok.size() == 3 || tok.size() == 5,
+                       "MPS: RANGES record needs 1 or 2 (row, value) pairs");
+        for (std::size_t p = 1; p + 1 < tok.size(); p += 2) {
+          const auto it = row_index.find(tok[p]);
+          ARCHEX_REQUIRE(it != row_index.end(),
+                         "MPS: RANGES references unknown row '" + tok[p] +
+                             "'");
+          range[static_cast<std::size_t>(it->second)] = parse_num(tok[p + 1]);
+          has_range[static_cast<std::size_t>(it->second)] = true;
+        }
+        break;
+      }
+      case Section::kBounds: {
+        ARCHEX_REQUIRE(tok.size() >= 3, "MPS: BOUNDS record too short");
+        const std::string& type = tok[0];
+        MpsColumn& col = col_at(tok[2]);
+        const bool needs_value =
+            type == "UP" || type == "LO" || type == "FX" || type == "UI";
+        ARCHEX_REQUIRE(!needs_value || tok.size() >= 4,
+                       "MPS: bound type " + type + " needs a value");
+        if (type == "BV") {
+          col.binary = true;
+          col.integral = true;
+          col.lo = 0.0;
+          col.up = 1.0;
+        } else if (type == "FX") {
+          col.lo = col.up = parse_num(tok[3]);
+        } else if (type == "MI") {
+          col.lo = -lp::kInf;
+        } else if (type == "PL") {
+          col.up = lp::kInf;
+        } else if (type == "LO") {
+          col.lo = parse_num(tok[3]);
+        } else if (type == "UP" || type == "UI") {
+          col.up = parse_num(tok[3]);
+        } else {
+          ARCHEX_REQUIRE(false, "MPS: unknown bound type '" + type + "'");
+        }
+        break;
+      }
+      case Section::kNone:
+      case Section::kDone:
+        ARCHEX_REQUIRE(false, "MPS: data record outside any section");
+    }
+  }
+  ARCHEX_REQUIRE(section == Section::kDone, "MPS: missing ENDATA");
+  ARCHEX_REQUIRE(!objective_row.empty(), "MPS: no objective (N) row");
+
+  // Build the model: columns first, then rows from the column-wise terms.
+  Model model;
+  std::vector<Var> vars;
+  vars.reserve(cols.size());
+  for (const MpsColumn& col : cols) {
+    ARCHEX_REQUIRE(col.lo <= col.up,
+                   "MPS: contradictory bounds on column '" + col.name + "'");
+    if (col.binary || (col.integral && col.lo == 0.0 && col.up == 1.0)) {
+      vars.push_back(model.add_binary(col.name));
+      if (col.lo == col.up) model.fix(vars.back(), col.lo);
+    } else if (col.integral) {
+      vars.push_back(model.add_integer(col.lo, col.up, col.name));
+    } else {
+      vars.push_back(model.add_continuous(col.lo, col.up, col.name));
+    }
+  }
+
+  LinExpr objective;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].obj != 0.0) objective.add_term(vars[c], cols[c].obj);
+  }
+  model.set_objective(objective);
+
+  std::vector<LinExpr> row_expr(sense.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    for (const auto& [row, coef] : cols[c].terms) {
+      row_expr[static_cast<std::size_t>(row)].add_term(vars[c], coef);
+    }
+  }
+  for (std::size_t i = 0; i < sense.size(); ++i) {
+    double lo = -lp::kInf, up = lp::kInf;
+    switch (sense[i]) {
+      case 'E': lo = up = rhs[i]; break;
+      case 'L': up = rhs[i]; break;
+      case 'G': lo = rhs[i]; break;
+      default: break;
+    }
+    if (has_range[i]) {
+      const double r = range[i];
+      switch (sense[i]) {
+        case 'L': lo = up - std::abs(r); break;
+        case 'G': up = lo + std::abs(r); break;
+        case 'E':
+          if (r >= 0.0) up = lo + r;
+          else lo = up + r;
+          break;
+        default: break;
+      }
+    }
+    RowSpec spec;
+    spec.expr = std::move(row_expr[i]);
+    spec.lo = lo;
+    spec.up = up;
+    model.add_row(std::move(spec), row_names[i]);
+  }
+  return model;
 }
 
 }  // namespace archex::ilp

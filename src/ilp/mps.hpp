@@ -22,4 +22,14 @@ namespace archex::ilp {
 [[nodiscard]] std::string to_mps(const Model& model,
                                  const std::string& name = "ARCHEX");
 
+/// Parse free-form MPS text back into a Model. Understands exactly the
+/// dialect to_mps() emits (and the common multi-pair COLUMNS/RHS layout):
+/// NAME, ROWS (first N row is the objective), COLUMNS with INTORG/INTEND
+/// markers, RHS, RANGES, BOUNDS (BV/FX/MI/LO/UP/PL), ENDATA. Unbounded
+/// columns default to [0, +inf) regardless of integrality. Note that MPS
+/// carries no objective constant, so a write/read round-trip reproduces the
+/// model up to that constant (and re-generated row/column names). Throws
+/// support::PreconditionError on malformed input.
+[[nodiscard]] Model from_mps(const std::string& text);
+
 }  // namespace archex::ilp

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ilp/model.hpp"
+#include "lp/simplex.hpp"
 
 namespace archex::ilp {
 
@@ -45,6 +46,20 @@ struct IlpResult {
   long lp_dual_limit = 0;       // ... of which: dual pivot cap
   long lp_dual_numeric = 0;     // ... of which: numeric trouble
   long lp_restore_fallbacks = 0;  // ... of which: dual feasibility lost
+
+  // Sparse-basis machinery (see lp::SimplexEngine::Stats).
+  long lp_factorizations = 0;  // basis (re)factorizations
+  long lp_eta_updates = 0;     // product-form eta updates appended
+  long lp_refactor_eta = 0;    // refactorizations forced by eta-file growth
+  long lp_refactor_drift = 0;  // refactorizations forced by numeric drift
+  long lp_max_eta_len = 0;     // longest eta file between refactorizations
+
+  // Presolve reductions applied to the root relaxation (zeros when
+  // presolve is disabled).
+  long presolve_fixed_variables = 0;
+  long presolve_rows_removed = 0;
+  long presolve_bound_tightenings = 0;
+
   double solve_seconds = 0.0;
 
   [[nodiscard]] bool optimal() const { return status == IlpStatus::kOptimal; }
@@ -75,6 +90,13 @@ struct BranchAndBoundOptions {
   double int_tol = 1e-6;
   /// Attempt a rounding heuristic at the root to seed the incumbent.
   bool root_rounding_heuristic = true;
+  /// Shrink the LP with lp::presolve() before the search (fixed-variable
+  /// substitution, row elimination, 0/1 bound propagation); solutions are
+  /// postsolved back to the model's variable space transparently.
+  bool presolve = true;
+  /// Options forwarded to the underlying simplex engine (e.g. dense_basis
+  /// to run the dense differential-testing oracle).
+  lp::SimplexOptions lp;
 };
 
 /// LP-based branch & bound (depth-first with best-bound pruning).

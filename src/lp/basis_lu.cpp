@@ -1,0 +1,281 @@
+// Sparse LU factorization of the simplex basis with Markowitz pivoting,
+// plus the product-form eta file applied on top between refactorizations.
+// See basis_lu.hpp for the index conventions.
+#include "lp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "support/check.hpp"
+
+namespace archex::lp {
+
+namespace {
+
+/// Relative pivot threshold: a candidate must reach this fraction of the
+/// largest magnitude in its column, or it is rejected for stability even
+/// when its Markowitz count is minimal.
+constexpr double kPivotThreshold = 0.1;
+/// Entries whose magnitude falls below this during elimination are dropped
+/// (exact-cancellation cleanup; well under the engine's 1e-9 tolerances).
+constexpr double kDropTolerance = 1e-14;
+/// A column whose largest magnitude is below this is treated as singular,
+/// matching the dense path's refactorization threshold.
+constexpr double kSingularTolerance = 1e-11;
+/// How many of the sparsest active columns are examined per elimination
+/// step. A small window keeps selection near-linear while retaining the
+/// fill-in control of full Markowitz search on these matrices.
+constexpr int kCandidateColumns = 4;
+
+}  // namespace
+
+bool BasisFactor::factorize(int m, const std::vector<SparseColumn>& columns) {
+  ARCHEX_REQUIRE(static_cast<int>(columns.size()) == m,
+                 "basis column count must equal m");
+  m_ = m;
+  valid_ = false;
+  perm_row_.assign(static_cast<std::size_t>(m), -1);
+  perm_col_.assign(static_cast<std::size_t>(m), -1);
+  diag_.assign(static_cast<std::size_t>(m), 0.0);
+  l_cols_.assign(static_cast<std::size_t>(m), {});
+  u_rows_.assign(static_cast<std::size_t>(m), {});
+  etas_.clear();
+  eta_nonzeros_ = 0;
+  lu_nonzeros_ = static_cast<std::size_t>(m);  // diagonals
+  if (m == 0) {
+    valid_ = true;
+    return true;
+  }
+
+  // Active submatrix: rows hold (column, value) entries; col_rows holds
+  // candidate row indices per column (lazily maintained — entries may be
+  // stale and are validated against the row on use); col_count is exact.
+  const auto mm = static_cast<std::size_t>(m);
+  std::vector<std::vector<std::pair<int, double>>> rows(mm);
+  std::vector<std::vector<int>> col_rows(mm);
+  std::vector<int> col_count(mm, 0);
+  std::vector<bool> row_active(mm, true), col_active(mm, true);
+  for (int c = 0; c < m; ++c) {
+    for (const auto& [r, v] : columns[static_cast<std::size_t>(c)]) {
+      ARCHEX_REQUIRE(r >= 0 && r < m, "basis column row index out of range");
+      if (v == 0.0) continue;
+      rows[static_cast<std::size_t>(r)].push_back({c, v});
+      col_rows[static_cast<std::size_t>(c)].push_back(r);
+      ++col_count[static_cast<std::size_t>(c)];
+    }
+  }
+
+  const auto find_in_row = [&](int r, int c) -> double* {
+    for (auto& e : rows[static_cast<std::size_t>(r)]) {
+      if (e.first == c) return &e.second;
+    }
+    return nullptr;
+  };
+  const auto remove_from_row = [&](int r, int c) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].first == c) {
+        row[i] = row.back();
+        row.pop_back();
+        return;
+      }
+    }
+  };
+
+  for (int step = 0; step < m; ++step) {
+    // ---- Markowitz pivot selection over the sparsest few columns --------
+    int cand[kCandidateColumns];
+    int cand_n = 0;
+    for (int c = 0; c < m; ++c) {
+      if (!col_active[static_cast<std::size_t>(c)]) continue;
+      if (col_count[static_cast<std::size_t>(c)] == 0) return false;  // singular
+      // Insertion sort into the candidate window by column count.
+      int pos = cand_n < kCandidateColumns ? cand_n : kCandidateColumns - 1;
+      if (pos == kCandidateColumns - 1 && cand_n == kCandidateColumns &&
+          col_count[static_cast<std::size_t>(c)] >=
+              col_count[static_cast<std::size_t>(cand[pos])]) {
+        continue;
+      }
+      while (pos > 0 && col_count[static_cast<std::size_t>(c)] <
+                            col_count[static_cast<std::size_t>(cand[pos - 1])]) {
+        if (pos < kCandidateColumns) cand[pos] = cand[pos - 1];
+        --pos;
+      }
+      cand[pos] = c;
+      if (cand_n < kCandidateColumns) ++cand_n;
+    }
+    if (cand_n == 0) return false;
+
+    int best_row = -1, best_col = -1;
+    double best_val = 0.0;
+    long best_score = 0;
+    for (int ci = 0; ci < cand_n; ++ci) {
+      const int c = cand[ci];
+      // Validate the column's row list and find its magnitude ceiling.
+      double col_max = 0.0;
+      for (const int r : col_rows[static_cast<std::size_t>(c)]) {
+        if (!row_active[static_cast<std::size_t>(r)]) continue;
+        if (const double* v = find_in_row(r, c)) {
+          col_max = std::max(col_max, std::abs(*v));
+        }
+      }
+      if (col_max < kSingularTolerance) continue;
+      for (const int r : col_rows[static_cast<std::size_t>(c)]) {
+        if (!row_active[static_cast<std::size_t>(r)]) continue;
+        const double* v = find_in_row(r, c);
+        if (v == nullptr || std::abs(*v) < kPivotThreshold * col_max) continue;
+        const long score =
+            (static_cast<long>(rows[static_cast<std::size_t>(r)].size()) - 1) *
+            (static_cast<long>(col_count[static_cast<std::size_t>(c)]) - 1);
+        if (best_row < 0 || score < best_score ||
+            (score == best_score && std::abs(*v) > std::abs(best_val))) {
+          best_row = r;
+          best_col = c;
+          best_val = *v;
+          best_score = score;
+        }
+      }
+    }
+    if (best_row < 0) return false;
+
+    const auto ks = static_cast<std::size_t>(step);
+    perm_row_[ks] = best_row;
+    perm_col_[ks] = best_col;
+    diag_[ks] = best_val;
+
+    // ---- record the reduced pivot row as a U row ------------------------
+    auto& pivot_row = rows[static_cast<std::size_t>(best_row)];
+    auto& urow = u_rows_[ks];
+    urow.reserve(pivot_row.size() - 1);
+    for (const auto& [c, v] : pivot_row) {
+      if (c == best_col) continue;
+      urow.push_back({c, v});
+      --col_count[static_cast<std::size_t>(c)];  // row leaves the active set
+    }
+    --col_count[static_cast<std::size_t>(best_col)];
+    lu_nonzeros_ += urow.size();
+
+    // ---- eliminate the pivot column from the remaining rows -------------
+    auto& lcol = l_cols_[ks];
+    for (const int r : col_rows[static_cast<std::size_t>(best_col)]) {
+      if (r == best_row || !row_active[static_cast<std::size_t>(r)]) continue;
+      const double* vp = find_in_row(r, best_col);
+      if (vp == nullptr) continue;  // stale candidate
+      const double mult = *vp / best_val;
+      lcol.push_back({r, mult});
+      remove_from_row(r, best_col);
+      --col_count[static_cast<std::size_t>(best_col)];
+      if (mult == 0.0) continue;
+      for (const auto& [c, v] : urow) {
+        if (double* dst = find_in_row(r, c)) {
+          *dst -= mult * v;
+          if (std::abs(*dst) < kDropTolerance) {
+            remove_from_row(r, c);
+            --col_count[static_cast<std::size_t>(c)];
+          }
+        } else {
+          const double fill = -mult * v;
+          if (std::abs(fill) < kDropTolerance) continue;
+          rows[static_cast<std::size_t>(r)].push_back({c, fill});
+          col_rows[static_cast<std::size_t>(c)].push_back(r);
+          ++col_count[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    lu_nonzeros_ += lcol.size();
+
+    row_active[static_cast<std::size_t>(best_row)] = false;
+    col_active[static_cast<std::size_t>(best_col)] = false;
+    pivot_row.clear();
+  }
+
+  valid_ = true;
+  return true;
+}
+
+std::vector<double> BasisFactor::ftran(const std::vector<double>& b) const {
+  ARCHEX_ASSERT(valid_, "ftran on an unfactorized basis");
+  std::vector<double> work = b;
+  // L solve, skipping steps whose pivot entry is zero (hyper-sparse path).
+  for (int k = 0; k < m_; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const double bp = work[static_cast<std::size_t>(perm_row_[ks])];
+    if (bp == 0.0) continue;
+    for (const auto& [r, mult] : l_cols_[ks]) {
+      work[static_cast<std::size_t>(r)] -= mult * bp;
+    }
+  }
+  // U back-substitution into basis-position space.
+  std::vector<double> x(static_cast<std::size_t>(m_), 0.0);
+  for (int k = m_ - 1; k >= 0; --k) {
+    const auto ks = static_cast<std::size_t>(k);
+    double v = work[static_cast<std::size_t>(perm_row_[ks])];
+    for (const auto& [c, u] : u_rows_[ks]) {
+      v -= u * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(perm_col_[ks])] = v / diag_[ks];
+  }
+  // Eta file, oldest first: x <- E_k^{-1} x.
+  for (const Eta& e : etas_) {
+    double xp = x[static_cast<std::size_t>(e.pivot_pos)];
+    if (xp == 0.0) continue;  // E^{-1} fixes vectors with a zero pivot entry
+    xp /= e.pivot_value;
+    for (const auto& [r, v] : e.entries) {
+      x[static_cast<std::size_t>(r)] -= v * xp;
+    }
+    x[static_cast<std::size_t>(e.pivot_pos)] = xp;
+  }
+  return x;
+}
+
+std::vector<double> BasisFactor::btran(std::vector<double> c) const {
+  ARCHEX_ASSERT(valid_, "btran on an unfactorized basis");
+  // Eta transposes, newest first: c <- E_k^{-T} c.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = c[static_cast<std::size_t>(it->pivot_pos)];
+    for (const auto& [r, v] : it->entries) {
+      s -= v * c[static_cast<std::size_t>(r)];
+    }
+    c[static_cast<std::size_t>(it->pivot_pos)] = s / it->pivot_value;
+  }
+  // U' forward solve (scatter), step order.
+  std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const double wk = c[static_cast<std::size_t>(perm_col_[ks])] / diag_[ks];
+    w[ks] = wk;
+    if (wk == 0.0) continue;
+    for (const auto& [cc, u] : u_rows_[ks]) {
+      c[static_cast<std::size_t>(cc)] -= u * wk;
+    }
+  }
+  // L' backward solve into row space.
+  std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+  for (int k = m_ - 1; k >= 0; --k) {
+    const auto ks = static_cast<std::size_t>(k);
+    double v = w[ks];
+    for (const auto& [r, mult] : l_cols_[ks]) {
+      v -= mult * y[static_cast<std::size_t>(r)];
+    }
+    y[static_cast<std::size_t>(perm_row_[ks])] = v;
+  }
+  return y;
+}
+
+void BasisFactor::push_eta(int pivot_pos, const std::vector<double>& w) {
+  ARCHEX_ASSERT(pivot_pos >= 0 && pivot_pos < m_, "eta pivot out of range");
+  Eta eta;
+  eta.pivot_pos = pivot_pos;
+  eta.pivot_value = w[static_cast<std::size_t>(pivot_pos)];
+  ARCHEX_ASSERT(std::abs(eta.pivot_value) > 1e-12, "degenerate eta pivot");
+  for (int r = 0; r < m_; ++r) {
+    if (r == pivot_pos) continue;
+    const double v = w[static_cast<std::size_t>(r)];
+    if (v != 0.0) eta.entries.push_back({r, v});
+  }
+  eta_nonzeros_ += eta.entries.size() + 1;
+  etas_.push_back(std::move(eta));
+}
+
+}  // namespace archex::lp

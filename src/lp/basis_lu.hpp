@@ -1,0 +1,92 @@
+// archex/lp/basis_lu.hpp
+//
+// Sparse basis factorization for the revised simplex: an LU decomposition
+// of the basis matrix with Markowitz-style pivot selection (fill-in
+// control), refreshed by a product-form eta file between refactorizations.
+//
+// Synthesis LPs (flow/reach encodings, Boolean linearizations) have a
+// handful of nonzeros per row, so the basis factors stay extremely sparse;
+// keeping B^{-1} as LU factors plus eta vectors makes every FTRAN/BTRAN
+// cost O(factor nonzeros) instead of the O(m^2) dense sweeps of the
+// explicit-inverse representation (which survives as the differential-
+// testing oracle behind SimplexOptions::dense_basis).
+//
+// Index conventions match the engine's dense path:
+//  * FTRAN solves B w = a; the input is row-indexed, the output is indexed
+//    by basis position (the column of B holding each basic variable);
+//  * BTRAN solves B' y = c; the input is basis-position-indexed, the
+//    output is row-indexed (dual values).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace archex::lp {
+
+/// One sparse column of the basis matrix: (row, coefficient) pairs.
+using SparseColumn = std::vector<std::pair<int, double>>;
+
+/// LU factors of one basis snapshot plus the eta file accumulated since.
+class BasisFactor {
+ public:
+  /// Factorize the m x m matrix whose k-th column is `columns[k]`.
+  /// Clears the eta file. Returns false when the matrix is numerically
+  /// singular (no acceptable pivot found for some elimination step).
+  [[nodiscard]] bool factorize(int m, const std::vector<SparseColumn>& columns);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+
+  /// Solve B w = b where B is the factored basis updated by the eta file.
+  /// `b` is row-indexed on input; the returned vector is basis-position-
+  /// indexed. Zero regions of the right-hand side are skipped (the
+  /// hyper-sparsity fast path: unit and near-unit columns touch only a few
+  /// factor entries).
+  [[nodiscard]] std::vector<double> ftran(const std::vector<double>& b) const;
+
+  /// Solve B' y = c. `c` is basis-position-indexed on input; the returned
+  /// vector is row-indexed.
+  [[nodiscard]] std::vector<double> btran(std::vector<double> c) const;
+
+  /// Record a basis change: the column at basis position `pivot_pos` was
+  /// replaced by a column whose FTRAN image is `w` (basis-position-indexed,
+  /// exactly what the simplex pivot already computed). Appends one eta
+  /// vector; O(nnz(w)).
+  void push_eta(int pivot_pos, const std::vector<double>& w);
+
+  // ---- refactorization-policy inputs ---------------------------------------
+
+  /// Number of eta vectors accumulated since the last factorize().
+  [[nodiscard]] int eta_count() const { return static_cast<int>(etas_.size()); }
+  /// Total nonzeros across the eta file.
+  [[nodiscard]] std::size_t eta_nonzeros() const { return eta_nonzeros_; }
+  /// Nonzeros in the L and U factors (fill-in included).
+  [[nodiscard]] std::size_t lu_nonzeros() const { return lu_nonzeros_; }
+
+ private:
+  struct Eta {
+    int pivot_pos = -1;
+    double pivot_value = 0.0;
+    // Off-pivot nonzeros of the replaced column's FTRAN image.
+    std::vector<std::pair<int, double>> entries;
+  };
+
+  int m_ = 0;
+  bool valid_ = false;
+
+  // Factors in elimination order: at step k, row perm_row_[k] and basis
+  // position perm_col_[k] were pivotal with diagonal diag_[k].
+  std::vector<int> perm_row_, perm_col_;
+  std::vector<double> diag_;
+  // l_cols_[k]: multipliers (original row, m) of the Gauss elimination at
+  // step k; u_rows_[k]: the reduced pivot row's off-diagonal entries
+  // (basis position, value), all pivoted at later steps.
+  std::vector<std::vector<std::pair<int, double>>> l_cols_;
+  std::vector<std::vector<std::pair<int, double>>> u_rows_;
+  std::size_t lu_nonzeros_ = 0;
+
+  std::vector<Eta> etas_;
+  std::size_t eta_nonzeros_ = 0;
+};
+
+}  // namespace archex::lp

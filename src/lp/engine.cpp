@@ -2,6 +2,19 @@
 // solves plus a dual-simplex re-optimizer for warm starts after bound
 // changes. See engine.hpp for the contract and simplex.cpp for the thin
 // lp::solve() wrapper.
+//
+// The basis lives in one of two representations, selected by
+// SimplexOptions::dense_basis:
+//  * sparse (default): LU factors with Markowitz pivoting plus a
+//    product-form eta file (basis_lu.hpp). FTRAN/BTRAN are sparse
+//    triangular solves; a pivot appends one eta vector; refactorization is
+//    triggered by eta-file growth, numeric drift, or the periodic pivot
+//    schedule. Pricing uses a candidate-list partial scan and the row-wise
+//    (CSR) matrix view keeps the dual ratio test and Devex updates
+//    proportional to the nonzeros the pivot actually touches.
+//  * dense (oracle): the original explicit m x m basis inverse with O(m^2)
+//    product-form updates and full-scan pricing, kept bit-for-bit as the
+//    slow reference the differential tests compare against.
 #include "lp/engine.hpp"
 
 #include <algorithm>
@@ -13,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "lp/basis_lu.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -27,7 +41,7 @@ enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
 class EngineImpl {
  public:
   EngineImpl(const Problem& problem, const SimplexOptions& options)
-      : opt_(options) {
+      : opt_(options), use_dense_(options.dense_basis) {
     n_ = problem.num_variables();
     m_ = problem.num_constraints();
     snapshot(problem);
@@ -68,7 +82,10 @@ class EngineImpl {
     if (m_ == 0) return solve_unconstrained();
 
     reset_working_state();
-    initial_basis();
+    if (!initial_basis()) {
+      out.status = SolveStatus::kNumericFailure;
+      return out;
+    }
     const int num_artificials = install_artificials();
 
     long phase1_pivots = 0;
@@ -145,7 +162,7 @@ class EngineImpl {
     // cost sign is wrong; for boxed variables a bound flip fixes the sign,
     // otherwise only a scratch solve can.
     {
-      const std::vector<double> y = btran(/*phase1=*/false);
+      const std::vector<double> y = btran_cost(/*phase1=*/false);
       for (int j = 0; j < total_; ++j) {
         const VarState st = state_[idx(j)];
         if (st == VarState::kBasic) continue;
@@ -255,6 +272,18 @@ class EngineImpl {
     cost_.resize(static_cast<std::size_t>(base_total_));
     is_artificial_.assign(static_cast<std::size_t>(base_total_), false);
     artificials_.clear();
+
+    // Row-wise (CSR) view over all working columns; the sparse path's dual
+    // ratio test and Devex updates walk rows a nonzero dual weight touches
+    // instead of dotting every column.
+    row_terms_.assign(static_cast<std::size_t>(m_), {});
+    for (int j = 0; j < total_; ++j) {
+      for (const auto& [row, coef] : cols_[idx(j)]) {
+        row_terms_[static_cast<std::size_t>(row)].push_back({j, coef});
+      }
+    }
+    alpha_.assign(static_cast<std::size_t>(total_), 0.0);
+    touched_.clear();
   }
 
   Solution solve_unconstrained() {
@@ -284,7 +313,7 @@ class EngineImpl {
     return out;
   }
 
-  void initial_basis() {
+  [[nodiscard]] bool initial_basis() {
     x_.assign(static_cast<std::size_t>(total_), 0.0);
     state_.assign(static_cast<std::size_t>(total_), VarState::kAtLower);
     for (int j = 0; j < n_; ++j) {
@@ -304,15 +333,20 @@ class EngineImpl {
       }
     }
     basis_.resize(static_cast<std::size_t>(m_));
-    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
-                 0.0);
     for (int i = 0; i < m_; ++i) {
       const int s = n_ + i;
       basis_[static_cast<std::size_t>(i)] = s;
       state_[idx(s)] = VarState::kBasic;
-      binv(i, i) = -1.0;  // B = -I for the all-logical basis
     }
-    recompute_basics();
+    if (use_dense_) {
+      binv_.assign(
+          static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) binv(i, i) = -1.0;  // B = -I (all logicals)
+      recompute_basics();
+      return true;
+    }
+    // Sparse path: factorize the (diagonal) all-logical basis.
+    return refactorize();
   }
 
   int install_artificials() {
@@ -332,19 +366,30 @@ class EngineImpl {
       const int t = total_;
       ++total_;
       cols_.push_back({{i, alpha}});
+      row_terms_[static_cast<std::size_t>(i)].push_back({t, alpha});
       lo_.push_back(0.0);
       up_.push_back(kInf);
       cost_.push_back(0.0);
       x_.push_back((target - v) / alpha);
       state_.push_back(VarState::kBasic);
       is_artificial_.push_back(true);
+      alpha_.push_back(0.0);
 
       state_[idx(s)] = (target == lo) ? VarState::kAtLower : VarState::kAtUpper;
       x_[idx(s)] = target;
       basis_[static_cast<std::size_t>(i)] = t;
-      binv(i, i) = 1.0 / alpha;
+      if (use_dense_) binv(i, i) = 1.0 / alpha;
       ++added;
       artificials_.push_back(t);
+    }
+    // The sparse factors still describe the all-logical basis; refresh them
+    // for the (still diagonal) artificial-patched one.
+    if (!use_dense_ && added > 0) {
+      if (!refactorize()) {
+        // Diagonal basis: factorization cannot fail unless the data is
+        // broken; treat like the dense path's impossibility.
+        ARCHEX_ASSERT(false, "artificial basis refactorization failed");
+      }
     }
     return added;
   }
@@ -478,20 +523,15 @@ class EngineImpl {
             leave_at_upper ? VarState::kAtUpper : VarState::kAtLower;
         x_[idx(leaving)] =
             leave_at_upper ? up_[idx(leaving)] : lo_[idx(leaving)];
-        basis_[static_cast<std::size_t>(leave)] = entering;
-        state_[idx(entering)] = VarState::kBasic;
         devex_update(entering, leaving, leave,
                      w[static_cast<std::size_t>(leave)]);
-        update_binv(w, leave);
+        basis_[static_cast<std::size_t>(leave)] = entering;
+        state_[idx(entering)] = VarState::kBasic;
+        apply_basis_update(w, leave);
       }
 
       ++iterations_;
-      ++since_refactor;
-      if (since_refactor % opt_.recompute_every == 0) recompute_basics();
-      if (since_refactor >= opt_.refactor_every) {
-        if (!refactorize()) return SolveStatus::kNumericFailure;
-        since_refactor = 0;
-      }
+      if (!maintain_basis(since_refactor)) return SolveStatus::kNumericFailure;
 
       const double obj = current_objective(phase1);
       if (obj < last_obj - 1e-12) {
@@ -506,15 +546,16 @@ class EngineImpl {
     }
   }
 
-  bool price(bool phase1, bool bland, int& entering, int& dir) const {
-    const std::vector<double> y = btran(phase1);
+  bool price(bool phase1, bool bland, int& entering, int& dir) {
+    const std::vector<double> y = btran_cost(phase1);
     entering = -1;
     dir = 0;
     double best_score = 0.0;
-    for (int j = 0; j < total_; ++j) {
+
+    const auto consider = [&](int j) {
       const VarState st = state_[idx(j)];
-      if (st == VarState::kBasic) continue;
-      if (lo_[idx(j)] == up_[idx(j)]) continue;
+      if (st == VarState::kBasic) return false;
+      if (lo_[idx(j)] == up_[idx(j)]) return false;
       double d = effective_cost(j, phase1);
       for (const auto& [row, coef] : cols_[idx(j)]) {
         d -= y[static_cast<std::size_t>(row)] * coef;
@@ -530,12 +571,7 @@ class EngineImpl {
         cand_dir = -1;
         violation = d;
       }
-      if (cand_dir == 0) continue;
-      if (bland) {
-        entering = j;
-        dir = cand_dir;
-        return true;
-      }
+      if (cand_dir == 0) return false;
       // Devex: maximize d^2 / weight rather than the raw violation.
       const double score = violation * violation / devex_[idx(j)];
       if (score > best_score && violation > opt_.tol) {
@@ -543,13 +579,60 @@ class EngineImpl {
         entering = j;
         dir = cand_dir;
       }
+      return true;
+    };
+
+    if (bland) {
+      // Bland's rule needs the lowest-index improving column: full
+      // ascending scan, first hit wins.
+      for (int j = 0; j < total_; ++j) {
+        if (consider(j)) {
+          entering = j;
+          const VarState st = state_[idx(j)];
+          double d = effective_cost(j, phase1);
+          for (const auto& [row, coef] : cols_[idx(j)]) {
+            d -= y[static_cast<std::size_t>(row)] * coef;
+          }
+          dir = (st == VarState::kAtUpper || (st == VarState::kFree && d > 0))
+                    ? -1
+                    : +1;
+          return true;
+        }
+      }
+      return false;
     }
+
+    const bool partial = !use_dense_ && opt_.pricing_candidates > 0;
+    if (!partial) {
+      for (int j = 0; j < total_; ++j) consider(j);
+      return entering >= 0;
+    }
+
+    // Candidate-list partial pricing: scan sections round-robin from the
+    // last cursor, stopping once enough improving candidates were seen.
+    // Only a full unfruitful sweep declares optimality, so the stopping
+    // rule affects pivot order, never correctness.
+    const int section = opt_.pricing_section > 0
+                            ? opt_.pricing_section
+                            : std::max(64, total_ / 8);
+    int found = 0;
+    int scanned = 0;
+    int j = price_cursor_ >= total_ ? 0 : price_cursor_;
+    while (scanned < total_) {
+      for (int s = 0; s < section && scanned < total_; ++s, ++scanned) {
+        if (consider(j)) ++found;
+        if (++j >= total_) j = 0;
+      }
+      if (found >= opt_.pricing_candidates) break;
+    }
+    price_cursor_ = j;
     return entering >= 0;
   }
 
   /// Forrest–Goldfarb approximate Devex weight update after a basis change.
   /// `pivot` is the pivot element (the leaving row's entry of the FTRANed
-  /// entering column); the pivot row of Binv gives alpha_j for nonbasics.
+  /// entering column). Called BEFORE the basis representation is updated,
+  /// so basis_row(pivot_row) is still the pre-pivot rho = e_r B^{-1}.
   void devex_update(int entering, int leaving, int pivot_row, double pivot) {
     const double wq = devex_[idx(entering)];
     const double pivot_sq = pivot * pivot;
@@ -558,19 +641,29 @@ class EngineImpl {
       devex_.assign(static_cast<std::size_t>(total_), 1.0);
       return;
     }
-    // NOTE: update_binv has not run yet, so binv row `pivot_row` is still
-    // the pre-pivot rho = e_r B^{-1}.
-    const double* rho = &binv(pivot_row, 0);
-    for (int j = 0; j < total_; ++j) {
-      if (state_[idx(j)] == VarState::kBasic || j == entering) continue;
-      if (lo_[idx(j)] == up_[idx(j)]) continue;
-      double alpha = 0.0;
-      for (const auto& [row, coef] : cols_[idx(j)]) {
-        alpha += rho[row] * coef;
-      }
-      if (alpha == 0.0) continue;
+    const auto bump = [&](int j, double alpha) {
+      if (state_[idx(j)] == VarState::kBasic || j == entering) return;
+      if (lo_[idx(j)] == up_[idx(j)]) return;
+      if (alpha == 0.0) return;
       const double cand = (alpha * alpha / pivot_sq) * wq;
       if (cand > devex_[idx(j)]) devex_[idx(j)] = cand;
+    };
+    if (use_dense_) {
+      const double* rho = &binv(pivot_row, 0);
+      for (int j = 0; j < total_; ++j) {
+        if (state_[idx(j)] == VarState::kBasic || j == entering) continue;
+        if (lo_[idx(j)] == up_[idx(j)]) continue;
+        double alpha = 0.0;
+        for (const auto& [row, coef] : cols_[idx(j)]) {
+          alpha += rho[row] * coef;
+        }
+        bump(j, alpha);
+      }
+    } else {
+      const std::vector<double> rho = basis_row(pivot_row);
+      scatter_alpha(rho);
+      for (const int j : touched_) bump(j, alpha_[idx(j)]);
+      clear_alpha();
     }
     devex_[idx(leaving)] = std::max(wq / pivot_sq, 1.0);
   }
@@ -633,32 +726,32 @@ class EngineImpl {
       if (leave < 0) return SolveStatus::kOptimal;
 
       // Entering: dual ratio test on row `leave` of Binv * A.
-      const std::vector<double> y = btran(/*phase1=*/false);
-      const double* rho = &binv(leave, 0);
+      const std::vector<double> y = btran_cost(/*phase1=*/false);
       int entering = -1;
       double best_ratio = kInf;
       double best_alpha = 0.0;
-      for (int j = 0; j < total_; ++j) {
+
+      const auto consider = [&](int j, double alpha) {
         const VarState st = state_[idx(j)];
-        if (st == VarState::kBasic) continue;
-        if (lo_[idx(j)] == up_[idx(j)]) continue;
-        double alpha = 0.0;
-        for (const auto& [row, coef] : cols_[idx(j)]) {
-          alpha += rho[row] * coef;
-        }
-        if (std::abs(alpha) < 1e-9) continue;
+        if (st == VarState::kBasic) return;
+        if (lo_[idx(j)] == up_[idx(j)]) return;
+        if (std::abs(alpha) < 1e-9) return;
         // x_Br responds to Δx_j with slope -alpha. To fix a below-lower
         // violation we must increase x_Br: at-lower j (Δ>0) needs alpha<0,
         // at-upper j (Δ<0) needs alpha>0; mirrored for above-upper.
-        const bool can_increase = st == VarState::kAtLower || st == VarState::kFree;
-        const bool can_decrease = st == VarState::kAtUpper || st == VarState::kFree;
+        const bool can_increase =
+            st == VarState::kAtLower || st == VarState::kFree;
+        const bool can_decrease =
+            st == VarState::kAtUpper || st == VarState::kFree;
         bool eligible = false;
         if (below) {
-          eligible = (can_increase && alpha < 0.0) || (can_decrease && alpha > 0.0);
+          eligible =
+              (can_increase && alpha < 0.0) || (can_decrease && alpha > 0.0);
         } else {
-          eligible = (can_increase && alpha > 0.0) || (can_decrease && alpha < 0.0);
+          eligible =
+              (can_increase && alpha > 0.0) || (can_decrease && alpha < 0.0);
         }
-        if (!eligible) continue;
+        if (!eligible) return;
         double d = effective_cost(j, /*phase1=*/false);
         for (const auto& [row, coef] : cols_[idx(j)]) {
           d -= y[static_cast<std::size_t>(row)] * coef;
@@ -671,6 +764,27 @@ class EngineImpl {
           best_alpha = std::abs(alpha);
           entering = j;
         }
+      };
+
+      if (use_dense_) {
+        const double* rho = &binv(leave, 0);
+        for (int j = 0; j < total_; ++j) {
+          if (state_[idx(j)] == VarState::kBasic) continue;
+          if (lo_[idx(j)] == up_[idx(j)]) continue;
+          double alpha = 0.0;
+          for (const auto& [row, coef] : cols_[idx(j)]) {
+            alpha += rho[row] * coef;
+          }
+          consider(j, alpha);
+        }
+      } else {
+        // Sparse: rho touches few rows; only columns intersecting those
+        // rows can have alpha != 0, so walk the CSR lists instead of
+        // dotting every column against rho.
+        const std::vector<double> rho = basis_row(leave);
+        scatter_alpha(rho);
+        for (const int j : touched_) consider(j, alpha_[idx(j)]);
+        clear_alpha();
       }
       if (entering < 0) return SolveStatus::kInfeasible;  // dual unbounded
 
@@ -678,7 +792,7 @@ class EngineImpl {
       const double pivot = w[static_cast<std::size_t>(leave)];
       if (std::abs(pivot) < 1e-9) {
         if (!refactorize()) return SolveStatus::kNumericFailure;
-        continue;  // retry with a fresh inverse
+        continue;  // retry with a fresh factorization
       }
       const int leaving = basis_[static_cast<std::size_t>(leave)];
       const double target = below ? lo_[idx(leaving)] : up_[idx(leaving)];
@@ -713,41 +827,86 @@ class EngineImpl {
       state_[idx(leaving)] = below ? VarState::kAtLower : VarState::kAtUpper;
       basis_[static_cast<std::size_t>(leave)] = entering;
       state_[idx(entering)] = VarState::kBasic;
-      update_binv(w, leave);
+      apply_basis_update(w, leave);
 
       ++iterations_;
-      ++since_refactor;
-      if (since_refactor % opt_.recompute_every == 0) recompute_basics();
-      if (since_refactor >= opt_.refactor_every) {
-        if (!refactorize()) return SolveStatus::kNumericFailure;
-        since_refactor = 0;
-      }
+      if (!maintain_basis(since_refactor)) return SolveStatus::kNumericFailure;
     }
   }
 
   // ---- shared linear algebra -------------------------------------------------
 
+  /// FTRAN: w = B^{-1} a_column (basis-position-indexed).
   [[nodiscard]] std::vector<double> ftran(int column) const {
-    std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
-    for (const auto& [row, coef] : cols_[idx(column)]) {
-      for (int i = 0; i < m_; ++i) {
-        w[static_cast<std::size_t>(i)] += binv(i, row) * coef;
+    if (use_dense_) {
+      std::vector<double> w(static_cast<std::size_t>(m_), 0.0);
+      for (const auto& [row, coef] : cols_[idx(column)]) {
+        for (int i = 0; i < m_; ++i) {
+          w[static_cast<std::size_t>(i)] += binv(i, row) * coef;
+        }
       }
+      return w;
     }
-    return w;
+    std::vector<double> b(static_cast<std::size_t>(m_), 0.0);
+    for (const auto& [row, coef] : cols_[idx(column)]) {
+      b[static_cast<std::size_t>(row)] += coef;
+    }
+    return factor_.ftran(b);
   }
 
-  [[nodiscard]] std::vector<double> btran(bool phase1) const {
-    std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+  /// BTRAN of the basic cost vector: y = B^{-T} c_B (row-indexed duals).
+  [[nodiscard]] std::vector<double> btran_cost(bool phase1) const {
+    if (use_dense_) {
+      std::vector<double> y(static_cast<std::size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        const double cb = effective_cost(basis_[static_cast<std::size_t>(i)],
+                                         phase1);
+        if (cb == 0.0) continue;
+        for (int r = 0; r < m_; ++r) {
+          y[static_cast<std::size_t>(r)] += cb * binv(i, r);
+        }
+      }
+      return y;
+    }
+    std::vector<double> c(static_cast<std::size_t>(m_), 0.0);
     for (int i = 0; i < m_; ++i) {
-      const double cb = effective_cost(basis_[static_cast<std::size_t>(i)],
-                                       phase1);
-      if (cb == 0.0) continue;
-      for (int r = 0; r < m_; ++r) {
-        y[static_cast<std::size_t>(r)] += cb * binv(i, r);
+      c[static_cast<std::size_t>(i)] =
+          effective_cost(basis_[static_cast<std::size_t>(i)], phase1);
+    }
+    return factor_.btran(std::move(c));
+  }
+
+  /// Row `r` of B^{-1} (row-indexed): rho with rho' A_j = alpha_j.
+  [[nodiscard]] std::vector<double> basis_row(int r) const {
+    if (use_dense_) {
+      std::vector<double> rho(static_cast<std::size_t>(m_), 0.0);
+      for (int c = 0; c < m_; ++c) {
+        rho[static_cast<std::size_t>(c)] = binv(r, c);
+      }
+      return rho;
+    }
+    std::vector<double> e(static_cast<std::size_t>(m_), 0.0);
+    e[static_cast<std::size_t>(r)] = 1.0;
+    return factor_.btran(std::move(e));
+  }
+
+  /// Scatter alpha_j = rho' A_j for every column with a nonzero result into
+  /// alpha_ / touched_ via the CSR row lists (cost: nonzeros of the rows
+  /// rho touches). Pair with clear_alpha().
+  void scatter_alpha(const std::vector<double>& rho) {
+    for (int r = 0; r < m_; ++r) {
+      const double v = rho[static_cast<std::size_t>(r)];
+      if (v == 0.0) continue;
+      for (const auto& [j, coef] : row_terms_[static_cast<std::size_t>(r)]) {
+        if (alpha_[idx(j)] == 0.0) touched_.push_back(j);
+        alpha_[idx(j)] += v * coef;
       }
     }
-    return y;
+  }
+
+  void clear_alpha() {
+    for (const int j : touched_) alpha_[idx(j)] = 0.0;
+    touched_.clear();
   }
 
   [[nodiscard]] double effective_cost(int j, bool phase1) const {
@@ -767,21 +926,75 @@ class EngineImpl {
     return total;
   }
 
-  void update_binv(const std::vector<double>& w, int pivot_row) {
-    const double pivot = w[static_cast<std::size_t>(pivot_row)];
-    ARCHEX_ASSERT(std::abs(pivot) > 1e-12, "degenerate pivot element");
-    double* prow = &binv(pivot_row, 0);
-    for (int r = 0; r < m_; ++r) prow[r] /= pivot;
-    for (int i = 0; i < m_; ++i) {
-      if (i == pivot_row) continue;
-      const double f = w[static_cast<std::size_t>(i)];
-      if (f == 0.0) continue;
-      double* irow = &binv(i, 0);
-      for (int r = 0; r < m_; ++r) irow[r] -= f * prow[r];
+  /// Fold one pivot into the basis representation: dense product-form
+  /// update of the explicit inverse, or one eta vector on the sparse path.
+  void apply_basis_update(const std::vector<double>& w, int pivot_row) {
+    if (use_dense_) {
+      const double pivot = w[static_cast<std::size_t>(pivot_row)];
+      ARCHEX_ASSERT(std::abs(pivot) > 1e-12, "degenerate pivot element");
+      double* prow = &binv(pivot_row, 0);
+      for (int r = 0; r < m_; ++r) prow[r] /= pivot;
+      for (int i = 0; i < m_; ++i) {
+        if (i == pivot_row) continue;
+        const double f = w[static_cast<std::size_t>(i)];
+        if (f == 0.0) continue;
+        double* irow = &binv(i, 0);
+        for (int r = 0; r < m_; ++r) irow[r] -= f * prow[r];
+      }
+      return;
     }
+    factor_.push_eta(pivot_row, w);
+    ++stats_.eta_updates;
+    stats_.max_eta_len =
+        std::max(stats_.max_eta_len, static_cast<long>(factor_.eta_count()));
+  }
+
+  /// Post-pivot basis maintenance shared by the primal and dual loops:
+  /// periodic refactorization, eta-file growth control, and the
+  /// numeric-drift check piggybacked on the periodic basic-value recompute.
+  [[nodiscard]] bool maintain_basis(int& since_refactor) {
+    ++since_refactor;
+    bool refactor = false;
+    if (since_refactor >= opt_.refactor_every) {
+      refactor = true;
+      ++stats_.refactor_periodic;
+    } else if (!use_dense_) {
+      if ((opt_.max_eta > 0 && factor_.eta_count() >= opt_.max_eta) ||
+          factor_.eta_nonzeros() >
+              opt_.eta_growth *
+                  (factor_.lu_nonzeros() + static_cast<std::size_t>(m_))) {
+        refactor = true;
+        ++stats_.refactor_eta;
+      }
+    }
+    if (refactor) {
+      if (!refactorize()) return false;
+      since_refactor = 0;
+      return true;
+    }
+    if (since_refactor % opt_.recompute_every == 0) {
+      const double drift = recompute_basics();
+      if (!use_dense_ && drift > opt_.drift_tol) {
+        ++stats_.refactor_drift;
+        if (!refactorize()) return false;
+        since_refactor = 0;
+      }
+    }
+    return true;
   }
 
   bool refactorize() {
+    ++stats_.factorizations;
+    if (!use_dense_) {
+      std::vector<SparseColumn> bc(static_cast<std::size_t>(m_));
+      for (int k = 0; k < m_; ++k) {
+        bc[static_cast<std::size_t>(k)] =
+            cols_[idx(basis_[static_cast<std::size_t>(k)])];
+      }
+      if (!factor_.factorize(m_, bc)) return false;
+      recompute_basics();
+      return true;
+    }
     const auto mm = static_cast<std::size_t>(m_);
     std::vector<double> a(mm * mm, 0.0);
     for (int k = 0; k < m_; ++k) {
@@ -828,7 +1041,10 @@ class EngineImpl {
     return true;
   }
 
-  void recompute_basics() {
+  /// Recompute the basic values from the nonbasic assignment through the
+  /// current basis representation. Returns the largest absolute correction
+  /// applied — the numeric-drift signal the refactorization policy watches.
+  double recompute_basics() {
     std::vector<double> rhs(static_cast<std::size_t>(m_), 0.0);
     for (int j = 0; j < total_; ++j) {
       if (state_[idx(j)] == VarState::kBasic) continue;
@@ -838,13 +1054,27 @@ class EngineImpl {
         rhs[static_cast<std::size_t>(row)] += coef * v;
       }
     }
-    for (int i = 0; i < m_; ++i) {
-      double total = 0.0;
-      for (int r = 0; r < m_; ++r) {
-        total += binv(i, r) * rhs[static_cast<std::size_t>(r)];
+    double drift = 0.0;
+    if (use_dense_) {
+      for (int i = 0; i < m_; ++i) {
+        double total = 0.0;
+        for (int r = 0; r < m_; ++r) {
+          total += binv(i, r) * rhs[static_cast<std::size_t>(r)];
+        }
+        const int b = basis_[static_cast<std::size_t>(i)];
+        drift = std::max(drift, std::abs(x_[idx(b)] + total));
+        x_[idx(b)] = -total;
       }
-      x_[idx(basis_[static_cast<std::size_t>(i)])] = -total;
+      return drift;
     }
+    const std::vector<double> xb = factor_.ftran(rhs);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      const double nv = -xb[static_cast<std::size_t>(i)];
+      drift = std::max(drift, std::abs(x_[idx(b)] - nv));
+      x_[idx(b)] = nv;
+    }
+    return drift;
   }
 
   void polish(std::vector<double>& x) const {
@@ -870,6 +1100,7 @@ class EngineImpl {
   }
 
   SimplexOptions opt_;
+  bool use_dense_ = false;
   int n_ = 0;
   int m_ = 0;
 
@@ -882,12 +1113,14 @@ class EngineImpl {
   // Working state (includes artificials appended by the last scratch solve).
   int total_ = 0;
   std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<std::vector<std::pair<int, double>>> row_terms_;  // CSR view
   std::vector<double> lo_, up_, cost_, x_;
   std::vector<VarState> state_;
   std::vector<bool> is_artificial_;
   std::vector<int> artificials_;
   std::vector<int> basis_;
-  std::vector<double> binv_;
+  std::vector<double> binv_;  // dense oracle only
+  BasisFactor factor_;        // sparse LU + eta file
   bool basis_valid_ = false;
 
   long iterations_ = 0;
@@ -903,8 +1136,13 @@ class EngineImpl {
   double pert_slack_ = 0.0;
   bool perturbed_ = false;
 
-  // Devex pricing weights (reset per phase).
+  // Devex pricing weights (reset per phase) and the partial-pricing cursor.
   std::vector<double> devex_;
+  int price_cursor_ = 0;
+
+  // Scratch for the CSR alpha scatter (sparse dual ratio test / Devex).
+  std::vector<double> alpha_;
+  std::vector<int> touched_;
 };
 
 }  // namespace detail

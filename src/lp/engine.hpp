@@ -68,7 +68,8 @@ class SimplexEngine {
   /// subtracts this before pruning against the incumbent.
   [[nodiscard]] double bound_slack() const;
 
-  /// Cumulative engine statistics (diagnosing warm-start effectiveness).
+  /// Cumulative engine statistics (diagnosing warm-start effectiveness and
+  /// the health of the sparse basis machinery).
   struct Stats {
     long scratch_solves = 0;   // full two-phase primal runs
     long dual_reopts = 0;      // successful dual-simplex re-optimizations
@@ -77,6 +78,15 @@ class SimplexEngine {
     long dual_numeric = 0;     // ... of which: numeric trouble
     long restore_fallbacks = 0;  // ... of which: dual feasibility unrestorable
     long total_pivots = 0;
+
+    // Basis-representation maintenance (sparse LU + eta file; the dense
+    // oracle only counts factorizations and periodic triggers).
+    long factorizations = 0;     // basis (re)factorizations performed
+    long eta_updates = 0;        // product-form updates appended
+    long refactor_periodic = 0;  // refactorizations: pivot-count schedule
+    long refactor_eta = 0;       // refactorizations: eta-file growth
+    long refactor_drift = 0;     // refactorizations: numeric drift
+    long max_eta_len = 0;        // longest eta file reached between refactors
   };
   [[nodiscard]] const Stats& stats() const;
 

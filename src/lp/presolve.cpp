@@ -1,0 +1,282 @@
+// Presolve / postsolve for lp::Problem. See presolve.hpp for the reduction
+// list and the branch-and-bound safety argument.
+#include "lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace archex::lp {
+
+namespace {
+
+/// Violations beyond this prove infeasibility; smaller ones are left for
+/// the simplex to resolve (declaring infeasible is irreversible, so the
+/// margin is deliberately wider than the engine's 1e-9 pivot tolerance).
+constexpr double kInfeasTol = 1e-7;
+/// Slack required before a row counts as redundant or a propagated bound
+/// counts as an improvement (keeps the fixpoint loop finite).
+constexpr double kImproveTol = 1e-7;
+/// Integrality recognition margin for rounding propagated bounds inward.
+constexpr double kIntTol = 1e-6;
+
+[[nodiscard]] std::size_t uz(int v) { return static_cast<std::size_t>(v); }
+
+}  // namespace
+
+std::vector<double> PresolveResult::postsolve(
+    const std::vector<double>& reduced_x) const {
+  ARCHEX_REQUIRE(
+      static_cast<int>(reduced_x.size()) == reduced.num_variables(),
+      "postsolve input size must match the reduced problem");
+  std::vector<double> x(var_map.size(), 0.0);
+  for (std::size_t j = 0; j < var_map.size(); ++j) {
+    x[j] = var_map[j] < 0 ? fixed_value[j] : reduced_x[uz(var_map[j])];
+  }
+  return x;
+}
+
+PresolveResult presolve(const Problem& problem,
+                        const std::vector<bool>& integer_cols) {
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+  ARCHEX_REQUIRE(
+      integer_cols.empty() || static_cast<int>(integer_cols.size()) == n,
+      "integer_cols must be empty or one flag per column");
+
+  PresolveResult out;
+  out.var_map.assign(uz(n), -1);
+  out.fixed_value.assign(uz(n), 0.0);
+
+  std::vector<double> lo(uz(n)), up(uz(n)), obj(uz(n));
+  for (int j = 0; j < n; ++j) {
+    lo[uz(j)] = problem.col_lo(j);
+    up[uz(j)] = problem.col_up(j);
+    obj[uz(j)] = problem.objective_coef(j);
+  }
+  std::vector<double> rlo(uz(m)), rup(uz(m));
+  for (int i = 0; i < m; ++i) {
+    rlo[uz(i)] = problem.row_lo(i);
+    rup[uz(i)] = problem.row_up(i);
+  }
+  std::vector<bool> row_removed(uz(m), false);
+  std::vector<bool> fixed(uz(n), false);
+
+  // Column-wise view for fixed-variable substitution.
+  std::vector<std::vector<std::pair<int, double>>> col_rows(uz(n));
+  for (int i = 0; i < m; ++i) {
+    for (const Term& t : problem.row(i)) {
+      if (t.coef != 0.0) col_rows[uz(t.var)].push_back({i, t.coef});
+    }
+  }
+
+  const auto is_int = [&](int j) {
+    return !integer_cols.empty() && integer_cols[uz(j)];
+  };
+
+  bool infeasible = false;
+  // Substitute column j at value v: row bounds absorb its contribution and
+  // the objective offset its cost term.
+  const auto fix_var = [&](int j, double v) {
+    if (fixed[uz(j)]) return;
+    if (is_int(j) && std::abs(v - std::round(v)) > kIntTol) {
+      infeasible = true;
+      return;
+    }
+    fixed[uz(j)] = true;
+    out.fixed_value[uz(j)] = v;
+    lo[uz(j)] = up[uz(j)] = v;
+    out.objective_offset += obj[uz(j)] * v;
+    ++out.stats.fixed_variables;
+    for (const auto& [i, coef] : col_rows[uz(j)]) {
+      if (row_removed[uz(i)]) continue;
+      const double shift = coef * v;
+      if (rlo[uz(i)] != -kInf) rlo[uz(i)] -= shift;
+      if (rup[uz(i)] != kInf) rup[uz(i)] -= shift;
+    }
+  };
+
+  // Tighten column j to [nlo, nup] (intersected with its current box),
+  // rounding inward for integral columns. Returns true on a change.
+  const auto tighten = [&](int j, double nlo, double nup) {
+    bool changed = false;
+    if (is_int(j)) {
+      if (nlo != -kInf) nlo = std::ceil(nlo - kIntTol);
+      if (nup != kInf) nup = std::floor(nup + kIntTol);
+    }
+    if (nlo > lo[uz(j)] + kImproveTol) {
+      lo[uz(j)] = nlo;
+      ++out.stats.bound_tightenings;
+      changed = true;
+    }
+    if (nup < up[uz(j)] - kImproveTol) {
+      up[uz(j)] = nup;
+      ++out.stats.bound_tightenings;
+      changed = true;
+    }
+    if (lo[uz(j)] > up[uz(j)] + kInfeasTol) {
+      infeasible = true;
+      return changed;
+    }
+    if (changed && up[uz(j)] - lo[uz(j)] <= kImproveTol) {
+      // Box collapsed: fix at a representative point (the exact integer for
+      // integral columns).
+      double v = 0.5 * (lo[uz(j)] + up[uz(j)]);
+      if (is_int(j)) v = std::round(v);
+      fix_var(j, v);
+    }
+    return changed;
+  };
+
+  // Seed: columns the model already fixed.
+  for (int j = 0; j < n; ++j) {
+    if (up[uz(j)] - lo[uz(j)] <= kImproveTol) {
+      double v = 0.5 * (lo[uz(j)] + up[uz(j)]);
+      if (is_int(j)) v = std::round(v);
+      fix_var(j, v);
+    }
+  }
+
+  constexpr int kMaxPasses = 16;
+  bool changed = true;
+  while (changed && !infeasible && out.stats.passes < kMaxPasses) {
+    changed = false;
+    ++out.stats.passes;
+    for (int i = 0; i < m && !infeasible; ++i) {
+      if (row_removed[uz(i)]) continue;
+
+      // Activity range over the unfixed terms of row i.
+      double min_act = 0.0, max_act = 0.0;
+      int live = 0;
+      int single_var = -1;
+      double single_coef = 0.0;
+      for (const Term& t : problem.row(i)) {
+        if (t.coef == 0.0 || fixed[uz(t.var)]) continue;
+        ++live;
+        single_var = t.var;
+        single_coef = t.coef;
+        const double l = lo[uz(t.var)], u = up[uz(t.var)];
+        if (t.coef > 0.0) {
+          min_act += (l == -kInf) ? -kInf : t.coef * l;
+          max_act += (u == kInf) ? kInf : t.coef * u;
+        } else {
+          min_act += (u == kInf) ? -kInf : t.coef * u;
+          max_act += (l == -kInf) ? kInf : t.coef * l;
+        }
+      }
+
+      if (live == 0) {
+        if (rlo[uz(i)] > kInfeasTol || rup[uz(i)] < -kInfeasTol) {
+          infeasible = true;
+          break;
+        }
+        row_removed[uz(i)] = true;
+        ++out.stats.empty_rows;
+        changed = true;
+        continue;
+      }
+      if (min_act > rup[uz(i)] + kInfeasTol ||
+          max_act < rlo[uz(i)] - kInfeasTol) {
+        infeasible = true;
+        break;
+      }
+      if (live == 1) {
+        // Singleton row: a * x_j in [rlo, rup] is just a column bound.
+        const int j = single_var;
+        const double a = single_coef;
+        const double blo = a > 0.0 ? rlo[uz(i)] / a : rup[uz(i)] / a;
+        const double bup = a > 0.0 ? rup[uz(i)] / a : rlo[uz(i)] / a;
+        row_removed[uz(i)] = true;
+        ++out.stats.singleton_rows;
+        changed = true;
+        tighten(j, blo, bup);
+        continue;
+      }
+      if (min_act >= rlo[uz(i)] - kImproveTol &&
+          max_act <= rup[uz(i)] + kImproveTol &&
+          min_act != -kInf && max_act != kInf) {
+        // Redundant under the current boxes; stays redundant under any
+        // further tightening-only bound change (branch & bound included).
+        row_removed[uz(i)] = true;
+        ++out.stats.redundant_rows;
+        changed = true;
+        continue;
+      }
+
+      // Bound propagation: the residual activity of the other terms bounds
+      // each column through this row.
+      if (min_act == -kInf && max_act == kInf) continue;
+      for (const Term& t : problem.row(i)) {
+        if (t.coef == 0.0 || fixed[uz(t.var)]) continue;
+        const int j = t.var;
+        const double l = lo[uz(j)], u = up[uz(j)];
+        // Own contribution range of a*x_j.
+        double own_min, own_max;
+        if (t.coef > 0.0) {
+          own_min = (l == -kInf) ? -kInf : t.coef * l;
+          own_max = (u == kInf) ? kInf : t.coef * u;
+        } else {
+          own_min = (u == kInf) ? -kInf : t.coef * u;
+          own_max = (l == -kInf) ? kInf : t.coef * l;
+        }
+        const double res_min =
+            (min_act == -kInf || own_min == -kInf) ? -kInf : min_act - own_min;
+        const double res_max =
+            (max_act == kInf || own_max == kInf) ? kInf : max_act - own_max;
+        // rlo - res_max <= a*x_j <= rup - res_min.
+        double tlo = -kInf, tup = kInf;
+        if (rlo[uz(i)] != -kInf && res_max != kInf) tlo = rlo[uz(i)] - res_max;
+        if (rup[uz(i)] != kInf && res_min != -kInf) tup = rup[uz(i)] - res_min;
+        double nlo = -kInf, nup = kInf;
+        if (t.coef > 0.0) {
+          if (tlo != -kInf) nlo = tlo / t.coef;
+          if (tup != kInf) nup = tup / t.coef;
+        } else {
+          if (tup != kInf) nlo = tup / t.coef;
+          if (tlo != -kInf) nup = tlo / t.coef;
+        }
+        if (tighten(j, nlo, nup)) changed = true;
+        if (infeasible) break;
+      }
+    }
+  }
+
+  if (infeasible) {
+    out.infeasible = true;
+    return out;
+  }
+
+  // Assemble the reduced problem.
+  for (int j = 0; j < n; ++j) {
+    if (fixed[uz(j)]) continue;
+    out.var_map[uz(j)] = out.reduced.add_variable(lo[uz(j)], up[uz(j)],
+                                                  obj[uz(j)],
+                                                  problem.col_name(j));
+  }
+  for (int i = 0; i < m; ++i) {
+    if (row_removed[uz(i)]) continue;
+    std::vector<Term> terms;
+    for (const Term& t : problem.row(i)) {
+      if (t.coef == 0.0 || fixed[uz(t.var)]) continue;
+      terms.push_back({out.var_map[uz(t.var)], t.coef});
+    }
+    if (terms.empty()) {
+      // Became empty after the loop's last fixings; same empty-row check.
+      if (rlo[uz(i)] > kInfeasTol || rup[uz(i)] < -kInfeasTol) {
+        out.infeasible = true;
+        return out;
+      }
+      ++out.stats.empty_rows;
+      continue;
+    }
+    const double a = std::max(rlo[uz(i)], -kInf);
+    const double b = std::max(rup[uz(i)], a);  // guard rounding inversions
+    out.reduced.add_constraint(std::move(terms), a, b, problem.row_name(i));
+  }
+  return out;
+}
+
+}  // namespace archex::lp

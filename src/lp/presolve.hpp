@@ -1,0 +1,73 @@
+// archex/lp/presolve.hpp
+//
+// Presolve for the ilp::Model -> lp::Problem lowering: shrinks a Problem
+// before it reaches the simplex engine and maps solutions of the reduced
+// problem back to the original space (postsolve).
+//
+// Reductions (iterated to a fixpoint):
+//  * fixed-variable substitution: a column with lo == up is folded into the
+//    row bounds and the objective offset;
+//  * empty-row elimination: a row with no remaining nonzeros is dropped
+//    (infeasible when 0 lies outside its bounds);
+//  * singleton-row elimination: a row with one remaining nonzero becomes a
+//    column bound and is dropped;
+//  * redundant-row removal: a row whose activity range (from the column
+//    boxes) lies inside its bounds can never be violated;
+//  * bound propagation: each row's activity range implies bounds on every
+//    column it touches; for columns flagged integral the implied bounds are
+//    rounded inward, which is exactly the 0/1 tightening the synthesis
+//    encodings profit from.
+//
+// Every reduction remains valid when column bounds are only ever
+// *tightened* afterwards — which is all branch & bound does — so the
+// reduced problem can be branched on directly and postsolve() stays exact
+// throughout the search tree.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace archex::lp {
+
+struct PresolveStats {
+  int fixed_variables = 0;    // columns substituted out
+  int empty_rows = 0;         // rows removed: no remaining nonzeros
+  int singleton_rows = 0;     // rows removed: converted to a column bound
+  int redundant_rows = 0;     // rows removed: activity range inside bounds
+  int bound_tightenings = 0;  // column-bound improvements from propagation
+  int passes = 0;             // fixpoint iterations performed
+
+  [[nodiscard]] int rows_removed() const {
+    return empty_rows + singleton_rows + redundant_rows;
+  }
+};
+
+struct PresolveResult {
+  /// Presolve proved the problem infeasible; `reduced` is meaningless.
+  bool infeasible = false;
+  /// The reduced problem (possibly with zero variables or constraints).
+  Problem reduced;
+  PresolveStats stats;
+  /// Objective contribution of the substituted-out columns:
+  /// original objective == reduced objective + objective_offset.
+  double objective_offset = 0.0;
+  /// Original column index -> reduced column index, or -1 when fixed.
+  std::vector<int> var_map;
+  /// Value of each fixed original column (meaningful where var_map is -1).
+  std::vector<double> fixed_value;
+
+  /// Lift a reduced-space assignment back to the original variable space.
+  [[nodiscard]] std::vector<double> postsolve(
+      const std::vector<double>& reduced_x) const;
+};
+
+/// Presolve `problem`. `integer_cols[j]` marks columns that must take
+/// integral values in the surrounding ILP; their propagated bounds are
+/// rounded inward (pass an empty vector for a pure LP). Rounding only cuts
+/// integer-free regions, so ILP optima are preserved; for the LP relaxation
+/// it can only raise the bound, which is safe for pruning.
+[[nodiscard]] PresolveResult presolve(
+    const Problem& problem, const std::vector<bool>& integer_cols = {});
+
+}  // namespace archex::lp

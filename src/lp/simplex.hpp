@@ -7,13 +7,20 @@
 // treat the solver as a black box, so any sound LP/ILP engine preserves the
 // algorithms (see DESIGN.md, substitution table).
 //
-// Internals (see simplex.cpp for details):
+// Internals (see engine.cpp for details):
 //  * each row `lo <= a'x <= up` becomes `a'x - s = 0` with a logical
 //    variable s bounded by [lo, up]; the initial basis is all logicals;
 //  * rows whose logical starts outside its bounds receive a phase-1
 //    artificial; phase 1 minimizes the artificial sum to zero;
-//  * the basis inverse is kept explicitly (dense) and refactorized
-//    periodically; pricing is Dantzig with a Bland fallback against cycling.
+//  * the basis is kept as a sparse LU factorization (Markowitz pivoting,
+//    basis_lu.hpp) updated by a product-form eta file, with FTRAN/BTRAN as
+//    sparse triangular solves; refactorization is triggered by eta-file
+//    growth, numeric drift, or a periodic pivot schedule. The explicit
+//    dense inverse survives behind SimplexOptions::dense_basis as the
+//    differential-testing oracle;
+//  * pricing is Devex over a candidate-list partial scan (full Dantzig
+//    sweeps only to prove optimality), with a Bland fallback against
+//    cycling.
 #pragma once
 
 #include <string>
@@ -52,6 +59,27 @@ struct SimplexOptions {
   /// Number of consecutive non-improving pivots before switching to
   /// Bland's anti-cycling rule.
   int bland_after = 256;
+
+  /// Keep the basis inverse as an explicit dense matrix (the pre-sparse
+  /// engine) instead of the sparse LU + eta-file representation. Every
+  /// FTRAN/BTRAN/update is then O(m^2); retained as the slow, simple
+  /// differential-testing oracle for the sparse path.
+  bool dense_basis = false;
+  /// Sparse basis: refactorize once the eta file holds this many updates.
+  int max_eta = 64;
+  /// Sparse basis: refactorize when the eta-file nonzeros exceed this
+  /// multiple of the LU factor nonzeros (growth/fill control).
+  double eta_growth = 2.0;
+  /// Refactorize when periodically recomputing the basic values moves one
+  /// of them by more than this (numeric-drift trigger).
+  double drift_tol = 1e-6;
+  /// Partial pricing: stop the scan once this many improving candidates
+  /// have been collected (a full sweep still proves optimality). <= 0
+  /// restores the full-scan Devex pricing on the sparse path too.
+  int pricing_candidates = 8;
+  /// Columns per partial-pricing section; 0 picks an automatic size that
+  /// scales with the column count.
+  int pricing_section = 0;
 };
 
 struct Solution {
