@@ -19,18 +19,32 @@
 // the largest EPS-shaped instance) run serially and then with the
 // cache+pool context, with the speedup, the cache hit rate, and a
 // bit-identity check of the two result streams.
+//
+// `--order=<topo|bfs|degree>` selects the variable-ordering heuristic the
+// BDD benchmarks compile with (default topo). Independent of the flag, the
+// headline report prints a per-ordering peak-BDD-size ablation over the
+// EPS-shaped instances — the baseline for future ordering work.
+//
+// The headline measurements (cold-cache BDD vs factoring, BDD engine
+// counters, ordering ablation) are also written to BENCH_rel.json through
+// the shared section merger (bench/bench_json.hpp), like BENCH_solver.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "graph/digraph.hpp"
+#include "rel/bdd_method.hpp"
 #include "rel/eval_cache.hpp"
 #include "rel/exact.hpp"
 #include "rel/monte_carlo.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -40,6 +54,8 @@ namespace {
 using namespace archex;
 
 int g_threads = 1;  // set by --threads before benchmarks run
+rel::BddOrdering g_order = rel::BddOrdering::kTopological;  // --order
+const char* g_order_name = "topo";
 
 /// `chains` disjoint G->B->D->L chains sharing one sink, plus cross edges
 /// from every B to every D (raising the path count combinatorially).
@@ -121,6 +137,43 @@ void BM_FactoringParallel(benchmark::State& state) {
   state.counters["threads"] = g_threads;
 }
 
+/// BDD compilation + evaluation, cold: a fresh manager per iteration, the
+/// way a synthesis loop meets each new iterate. The counters report the
+/// engine state of the last iteration.
+void BM_Bdd(benchmark::State& state) {
+  const ParallelChains arch(static_cast<int>(state.range(0)),
+                            state.range(1) != 0);
+  rel::BddEvalStats stats;
+  double r = 0.0;
+  for (auto _ : state) {
+    r = rel::bdd_failure_probability(arch.g, arch.sources, arch.sink, arch.p,
+                                     g_order, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["failure"] = r;
+  state.counters["peak_nodes"] = static_cast<double>(stats.peak_nodes);
+  state.counters["final_nodes"] = static_cast<double>(stats.final_nodes);
+  state.counters["computed_hit_rate"] = stats.computed_hit_rate;
+}
+
+/// kBdd through a shared EvalContext: whole-graph memoization, so every
+/// iteration after the first is one canonical-key lookup.
+void BM_BddCached(benchmark::State& state) {
+  const ParallelChains arch(static_cast<int>(state.range(0)),
+                            state.range(1) != 0);
+  rel::EvalCache cache;
+  rel::EvalContext ctx;
+  ctx.cache = &cache;
+  double r = 0.0;
+  for (auto _ : state) {
+    r = rel::failure_probability(arch.g, arch.sources, arch.sink, arch.p,
+                                 ctx, rel::ExactMethod::kBdd);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["failure"] = r;
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+
 void BM_InclusionExclusion(benchmark::State& state) {
   const ParallelChains arch(static_cast<int>(state.range(0)),
                             state.range(1) != 0);
@@ -187,6 +240,15 @@ BENCHMARK(BM_FactoringCached)
 BENCHMARK(BM_FactoringParallel)
     ->Args({8, 0})->Args({4, 1})->Args({6, 1})
     ->Unit(benchmark::kMicrosecond);
+// The BDD method rides the graph width, so the {12,0} instance that is
+// omitted from the accelerated factoring variants is cheap here.
+BENCHMARK(BM_Bdd)
+    ->Args({2, 0})->Args({4, 0})->Args({8, 0})->Args({12, 0})
+    ->Args({2, 1})->Args({3, 1})->Args({4, 1})->Args({6, 1})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BddCached)
+    ->Args({8, 0})->Args({4, 1})->Args({6, 1})
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_InclusionExclusion)
     ->Args({2, 0})->Args({4, 0})->Args({8, 0})->Args({16, 0})
     ->Args({2, 1})->Args({3, 1})->Args({4, 1})
@@ -202,7 +264,8 @@ BENCHMARK(BM_MonteCarloSharded100k)
 /// EPS-shaped instance of this harness evaluated `kEvals` times, the way
 /// ILP-MR/Pareto re-analyze near-identical iterates — serial vs the
 /// cache+pool context. Prints speedup, hit rate, and a bit-identity verdict.
-void report_headline_speedup() {
+/// Returns the measurements for the BENCH_rel.json section.
+json::Object report_headline_speedup() {
   constexpr int kEvals = 8;
   const ParallelChains arch(6, /*cross=*/true);
 
@@ -218,7 +281,9 @@ void report_headline_speedup() {
 
   support::ThreadPool pool(g_threads);
   rel::EvalCache cache;
-  rel::EvalContext ctx{&cache, &pool};
+  rel::EvalContext ctx;
+  ctx.cache = &cache;
+  ctx.pool = &pool;
   Stopwatch accel_watch;
   accel_watch.start();
   std::vector<double> accelerated;
@@ -251,9 +316,132 @@ void report_headline_speedup() {
       static_cast<unsigned long long>(stats.hits),
       static_cast<unsigned long long>(stats.misses), 100.0 * stats.hit_rate(),
       stats.size, identical ? "yes" : "NO (determinism contract violated)");
+
+  json::Object out;
+  out["evals"] = kEvals;
+  out["threads"] = g_threads;
+  out["serial_seconds"] = serial_watch.elapsed_seconds();
+  out["accelerated_seconds"] = accel_watch.elapsed_seconds();
+  out["cache_hit_rate"] = stats.hit_rate();
+  out["bit_identical"] = identical;
+  return out;
+}
+
+/// BDD acceptance + ablation report over the EPS-shaped instances: cold
+/// kBdd vs cold kFactoring (one evaluation each), the BDD engine counters,
+/// and the peak-node ablation across the three ordering heuristics.
+json::Object report_bdd(json::Array& ablation_rows) {
+  struct Instance {
+    int chains;
+    bool cross;
+  };
+  // The last entry is the harness's largest EPS-shaped instance — the one
+  // the acceptance criterion (BDD at least as fast as cold factoring)
+  // is checked on.
+  const std::vector<Instance> instances{{2, false}, {4, false}, {8, false},
+                                        {12, false}, {2, true}, {3, true},
+                                        {4, true},  {6, true}};
+
+  std::printf("=== BDD method (--order=%s): cold evaluation vs factoring, "
+              "engine counters, ordering ablation ===\n"
+              "%8s %6s | %12s %12s %8s | %10s %10s %8s %8s | %10s %10s %10s\n",
+              g_order_name, "chains", "cross", "factor (ms)", "bdd (ms)",
+              "speedup", "peak", "final", "uniq occ", "cmp hit", "topo peak",
+              "bfs peak", "deg peak");
+
+  json::Array rows;
+  for (const Instance& inst : instances) {
+    const ParallelChains arch(inst.chains, inst.cross);
+
+    Stopwatch fw;
+    fw.start();
+    const double rf = rel::failure_probability(
+        arch.g, arch.sources, arch.sink, arch.p, rel::ExactMethod::kFactoring);
+    fw.stop();
+
+    rel::BddEvalStats stats;
+    Stopwatch bw;
+    bw.start();
+    const double rb = rel::bdd_failure_probability(
+        arch.g, arch.sources, arch.sink, arch.p, g_order, &stats);
+    bw.stop();
+
+    // Ordering ablation: peak node count of each heuristic on this
+    // instance (the compilation is rerun; timings above stay untouched).
+    json::Object peaks;
+    std::size_t peak_of[3] = {0, 0, 0};
+    const rel::BddOrdering orders[3] = {rel::BddOrdering::kTopological,
+                                        rel::BddOrdering::kBfsLevel,
+                                        rel::BddOrdering::kDegree};
+    const char* order_names[3] = {"topo", "bfs", "degree"};
+    for (int k = 0; k < 3; ++k) {
+      rel::BddEvalStats s;
+      (void)rel::bdd_failure_probability(arch.g, arch.sources, arch.sink,
+                                         arch.p, orders[k], &s);
+      peak_of[k] = s.peak_nodes;
+      peaks[order_names[k]] = static_cast<long long>(s.peak_nodes);
+    }
+
+    std::printf("%8d %6s | %12.3f %12.3f %8.1fx | %10zu %10zu %8.3f %8.3f "
+                "| %10zu %10zu %10zu\n",
+                inst.chains, inst.cross ? "yes" : "no",
+                1e3 * fw.elapsed_seconds(), 1e3 * bw.elapsed_seconds(),
+                fw.elapsed_seconds() / std::max(bw.elapsed_seconds(), 1e-12),
+                stats.peak_nodes, stats.final_nodes, stats.unique_occupancy,
+                stats.computed_hit_rate, peak_of[0], peak_of[1], peak_of[2]);
+
+    json::Object row;
+    row["chains"] = inst.chains;
+    row["cross"] = inst.cross;
+    row["factoring_cold_seconds"] = fw.elapsed_seconds();
+    row["bdd_cold_seconds"] = bw.elapsed_seconds();
+    row["abs_diff"] = std::fabs(rf - rb);
+    json::Object engine;
+    engine["num_vars"] = stats.num_vars;
+    engine["nodes_allocated"] = static_cast<long long>(stats.peak_nodes);
+    engine["final_nodes"] = static_cast<long long>(stats.final_nodes);
+    engine["unique_occupancy"] = stats.unique_occupancy;
+    engine["computed_hit_rate"] = stats.computed_hit_rate;
+    row["bdd"] = std::move(engine);
+    rows.push_back(std::move(row));
+
+    json::Object ablation;
+    ablation["chains"] = inst.chains;
+    ablation["cross"] = inst.cross;
+    ablation["peak_nodes"] = std::move(peaks);
+    ablation_rows.push_back(std::move(ablation));
+  }
+
+  const json::Object& largest = rows.back().as_object();
+  std::printf("\nlargest instance: bdd %.3f ms vs factoring %.3f ms (cold), "
+              "|r_bdd - r_factoring| = %.3g\n\n",
+              1e3 * largest.at("bdd_cold_seconds").as_number(),
+              1e3 * largest.at("factoring_cold_seconds").as_number(),
+              largest.at("abs_diff").as_number());
+
+  json::Object out;
+  out["order"] = g_order_name;
+  out["instances"] = std::move(rows);
+  return out;
 }
 
 }  // namespace
+
+bool set_order(const char* name) {
+  if (std::strcmp(name, "topo") == 0) {
+    g_order = rel::BddOrdering::kTopological;
+  } else if (std::strcmp(name, "bfs") == 0) {
+    g_order = rel::BddOrdering::kBfsLevel;
+  } else if (std::strcmp(name, "degree") == 0) {
+    g_order = rel::BddOrdering::kDegree;
+  } else {
+    std::fprintf(stderr, "unknown --order '%s' (want topo, bfs, or degree)\n",
+                 name);
+    return false;
+  }
+  g_order_name = name;
+  return true;
+}
 
 int main(int argc, char** argv) {
   std::vector<char*> args;
@@ -262,6 +450,8 @@ int main(int argc, char** argv) {
       g_threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--order=", 8) == 0) {
+      if (!set_order(argv[i] + 8)) return 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -273,7 +463,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
-  report_headline_speedup();
+  json::Object section;
+  section["headline"] = report_headline_speedup();
+  json::Array ablation;
+  section["bdd"] = report_bdd(ablation);
+  section["ordering_ablation"] = std::move(ablation);
+  if (!bench::write_bench_section("BENCH_rel.json", "rel_methods",
+                                  json::Value(std::move(section)))) {
+    std::fprintf(stderr, "warning: could not write BENCH_rel.json\n");
+  } else {
+    std::puts("wrote BENCH_rel.json (section rel_methods)");
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

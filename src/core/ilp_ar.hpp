@@ -41,6 +41,8 @@ struct IlpArOptions {
   /// runs sharing the same cache, e.g. across a Pareto sweep).
   rel::EvalCache* cache = nullptr;
   support::ThreadPool* pool = nullptr;
+  /// Exact analyzer used to verify the synthesized architecture.
+  rel::ExactMethod method = rel::ExactMethod::kFactoring;
 };
 
 struct IlpArReport {

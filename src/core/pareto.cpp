@@ -26,6 +26,7 @@ ParetoFrontier sweep_pareto_frontier(
     ar.accept_incumbent = options.accept_incumbent;
     ar.cache = options.cache != nullptr ? options.cache : &local_cache;
     ar.pool = options.pool;
+    ar.method = options.method;
     IlpArReport report = run_ilp_ar(ilp, solver, ar);
 
     frontier.terminal_status = report.status;

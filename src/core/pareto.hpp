@@ -47,6 +47,8 @@ struct ParetoOptions {
   rel::EvalCache* cache = nullptr;
   /// Optional worker pool forwarded to each ILP-AR run.
   support::ThreadPool* pool = nullptr;
+  /// Exact analyzer used to score each sweep point (forwarded to ILP-AR).
+  rel::ExactMethod method = rel::ExactMethod::kFactoring;
 };
 
 struct ParetoFrontier {

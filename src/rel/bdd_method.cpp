@@ -1,0 +1,283 @@
+#include "rel/bdd_method.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "bdd/bdd.hpp"
+#include "rel/exact.hpp"
+#include "support/check.hpp"
+
+namespace archex::rel {
+
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+
+/// Nodes on some source->sink walk: forward-reachable from a source and
+/// backward-reachable from the sink. Everything else can never influence
+/// connectivity and is excluded before any BDD work.
+std::vector<bool> relevant_nodes(const Digraph& g,
+                                 const std::vector<NodeId>& sources,
+                                 NodeId sink) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<bool> forward(n, false);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    const auto si = static_cast<std::size_t>(s);
+    if (!forward[si]) {
+      forward[si] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.successors(u)) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!forward[vi]) {
+        forward[vi] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  const std::vector<bool> backward = g.reaching(sink);
+  std::vector<bool> relevant(n, false);
+  for (std::size_t v = 0; v < n; ++v) relevant[v] = forward[v] && backward[v];
+  return relevant;
+}
+
+/// Kahn topological order of the relevant subgraph; empty when cyclic.
+std::vector<NodeId> topological_order(const Digraph& g,
+                                      const std::vector<bool>& relevant) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> indegree(n, 0);
+  std::size_t live = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!relevant[static_cast<std::size_t>(u)]) continue;
+    ++live;
+    for (NodeId v : g.successors(u)) {
+      if (relevant[static_cast<std::size_t>(v)]) {
+        ++indegree[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  // A min-id frontier keeps the order deterministic regardless of edge
+  // insertion order.
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (relevant[static_cast<std::size_t>(v)] &&
+        indegree[static_cast<std::size_t>(v)] == 0) {
+      frontier.push_back(v);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(live);
+  while (!frontier.empty()) {
+    const auto it = std::min_element(frontier.begin(), frontier.end());
+    const NodeId u = *it;
+    frontier.erase(it);
+    order.push_back(u);
+    for (NodeId v : g.successors(u)) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (relevant[vi] && --indegree[vi] == 0) frontier.push_back(v);
+    }
+  }
+  if (order.size() != live) order.clear();  // cycle detected
+  return order;
+}
+
+/// BFS levels from the sources over the relevant subgraph, level by level
+/// with ascending ids inside a level.
+std::vector<NodeId> bfs_level_order(const Digraph& g,
+                                    const std::vector<NodeId>& sources,
+                                    const std::vector<bool>& relevant) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> order;
+  std::vector<NodeId> level;
+  for (NodeId s : sources) {
+    const auto si = static_cast<std::size_t>(s);
+    if (relevant[si] && !seen[si]) {
+      seen[si] = true;
+      level.push_back(s);
+    }
+  }
+  while (!level.empty()) {
+    std::sort(level.begin(), level.end());
+    order.insert(order.end(), level.begin(), level.end());
+    std::vector<NodeId> next;
+    for (NodeId u : level) {
+      for (NodeId v : g.successors(u)) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (relevant[vi] && !seen[vi]) {
+          seen[vi] = true;
+          next.push_back(v);
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  return order;
+}
+
+std::vector<NodeId> degree_order(const Digraph& g,
+                                 const std::vector<bool>& relevant) {
+  std::vector<std::pair<int, NodeId>> keyed;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (!relevant[vi]) continue;
+    int degree = 0;
+    for (NodeId u : g.successors(v)) {
+      if (relevant[static_cast<std::size_t>(u)]) ++degree;
+    }
+    for (NodeId u : g.predecessors(v)) {
+      if (relevant[static_cast<std::size_t>(u)]) ++degree;
+    }
+    keyed.push_back({-degree, v});  // descending degree, ascending id
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<NodeId> order;
+  order.reserve(keyed.size());
+  for (const auto& kv : keyed) order.push_back(kv.second);
+  return order;
+}
+
+std::vector<NodeId> make_order(const Digraph& g,
+                               const std::vector<NodeId>& sources,
+                               const std::vector<bool>& relevant,
+                               BddOrdering ordering) {
+  switch (ordering) {
+    case BddOrdering::kAuto:
+    case BddOrdering::kTopological: {
+      std::vector<NodeId> order = topological_order(g, relevant);
+      if (order.empty()) order = bfs_level_order(g, sources, relevant);
+      return order;
+    }
+    case BddOrdering::kBfsLevel:
+      return bfs_level_order(g, sources, relevant);
+    case BddOrdering::kDegree:
+      return degree_order(g, relevant);
+  }
+  throw InternalError("unknown BDD ordering");
+}
+
+}  // namespace
+
+std::vector<NodeId> bdd_variable_order(const Digraph& g,
+                                       const std::vector<NodeId>& sources,
+                                       NodeId sink, BddOrdering ordering) {
+  return make_order(g, sources, relevant_nodes(g, sources, sink), ordering);
+}
+
+double bdd_failure_probability(
+    const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
+    const std::vector<double>& p, BddOrdering ordering, BddEvalStats* stats,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  ARCHEX_REQUIRE(sink >= 0 && sink < g.num_nodes(), "sink out of range");
+  ARCHEX_REQUIRE(static_cast<int>(p.size()) == g.num_nodes(),
+                 "failure-probability vector must cover every node");
+  if (stats != nullptr) *stats = BddEvalStats{};
+  if (sources.empty()) return 1.0;
+
+  const std::vector<bool> relevant = relevant_nodes(g, sources, sink);
+  if (!relevant[static_cast<std::size_t>(sink)]) return 1.0;
+  const std::vector<NodeId> order = make_order(g, sources, relevant, ordering);
+
+  // Branch position per node; only fallible nodes consume a variable.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> var_of(n, -1);
+  std::vector<double> p_true;
+  for (NodeId v : order) {
+    if (p[static_cast<std::size_t>(v)] > 0.0) {
+      var_of[static_cast<std::size_t>(v)] = static_cast<int>(p_true.size());
+      p_true.push_back(1.0 - p[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  // Computed-table capacity scales with the variable count (BDD sizes grow
+  // with width, not node count): tiny graphs avoid a megabyte-sized cache
+  // allocation per evaluation, large ones get the full table.
+  int table_bits = 4;
+  while ((1 << table_bits) < 64 * static_cast<int>(p_true.size()) &&
+         table_bits < 18) {
+    ++table_bits;
+  }
+  bdd::BddManager mgr(static_cast<int>(p_true.size()), table_bits);
+  mgr.set_deadline(deadline);
+
+  std::vector<bool> is_source(n, false);
+  for (NodeId s : sources) is_source[static_cast<std::size_t>(s)] = true;
+
+  // Position of each relevant node in `order`, for indexing R.
+  std::vector<int> pos(n, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  const auto literal = [&](NodeId v) {
+    const int index = var_of[static_cast<std::size_t>(v)];
+    return index < 0 ? bdd::BddManager::kTrue : mgr.var(index);
+  };
+
+  // Gauss–Seidel fixed point of R_v = x_v & (source | OR_pred R_u). Refs
+  // are canonical, so Ref equality is function equality and convergence
+  // detection is exact.
+  std::vector<bdd::Ref> reach(order.size(), bdd::BddManager::kFalse);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (is_source[static_cast<std::size_t>(order[i])]) {
+      reach[i] = literal(order[i]);
+    }
+  }
+  int rounds = 0;
+  try {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++rounds;
+      ARCHEX_ASSERT(rounds <= g.num_nodes() + 1,
+                    "reachability fixed point failed to converge");
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const NodeId v = order[i];
+        if (is_source[static_cast<std::size_t>(v)]) continue;
+        // Predecessor disjunction in ascending id order: the compilation is
+        // a pure function of the canonical problem, independent of edge
+        // insertion order (determinism contract).
+        std::vector<NodeId> preds = g.predecessors(v);
+        std::sort(preds.begin(), preds.end());
+        bdd::Ref any_pred = bdd::BddManager::kFalse;
+        for (NodeId u : preds) {
+          const int up = pos[static_cast<std::size_t>(u)];
+          if (up >= 0) any_pred = mgr.bdd_or(any_pred, reach[static_cast<std::size_t>(up)]);
+        }
+        const bdd::Ref next = mgr.bdd_and(literal(v), any_pred);
+        if (next != reach[i]) {
+          reach[i] = next;
+          changed = true;
+        }
+      }
+    }
+  } catch (const bdd::BddTimeoutError&) {
+    throw TimeoutError("BDD compilation exceeded the EvalContext deadline");
+  }
+
+  const bdd::Ref f = reach[static_cast<std::size_t>(
+      pos[static_cast<std::size_t>(sink)])];
+  const double works = mgr.prob_true(f, p_true);
+
+  if (stats != nullptr) {
+    const bdd::BddStats& ms = mgr.stats();
+    stats->num_vars = mgr.num_vars();
+    stats->fixpoint_rounds = rounds;
+    stats->final_nodes = mgr.num_nodes(f);
+    stats->peak_nodes = ms.nodes_allocated;
+    stats->unique_entries = ms.unique_entries;
+    stats->unique_occupancy = ms.unique_occupancy();
+    stats->computed_lookups = ms.computed_lookups;
+    stats->computed_hits = ms.computed_hits;
+    stats->computed_hit_rate = ms.computed_hit_rate();
+  }
+  return 1.0 - works;
+}
+
+}  // namespace archex::rel

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "graph/paths.hpp"
+#include "rel/bdd_method.hpp"
 #include "rel/series_parallel.hpp"
 #include "support/check.hpp"
 
@@ -17,7 +18,30 @@ namespace {
 using graph::Digraph;
 using graph::NodeId;
 
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
 enum class NodeState : unsigned char { kUndecided, kUp, kDown };
+
+/// Counted deadline poll shared by the analyzers: checks the clock every
+/// `kPollInterval` ticks so the hot paths pay one increment per step.
+class DeadlinePoller {
+ public:
+  explicit DeadlinePoller(const Deadline& deadline) : deadline_(deadline) {}
+
+  void poll() {
+    if (!deadline_.has_value()) return;
+    if (++ticks_ < kPollInterval) return;
+    ticks_ = 0;
+    if (std::chrono::steady_clock::now() >= *deadline_) {
+      throw TimeoutError("exact analysis exceeded the EvalContext deadline");
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kPollInterval = 1024;
+  Deadline deadline_;
+  std::uint64_t ticks_ = 0;
+};
 
 /// Copy of `g` with every adjacency list sorted ascending. The factoring
 /// engine evaluates on this normalized form so that a subproblem's value is
@@ -41,8 +65,15 @@ Digraph sorted_adjacency_copy(const Digraph& g) {
 class Factoring {
  public:
   Factoring(const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
-            const std::vector<double>& p, EvalCache* cache)
-      : g_(g), sources_(sources), sink_(sink), p_(p), cache_(cache) {
+            const std::vector<double>& p, EvalCache* cache,
+            const Deadline& deadline)
+      : g_(g),
+        sources_(sources),
+        sink_(sink),
+        p_(p),
+        cache_(cache),
+        deadline_(deadline),
+        poller_(deadline) {
     state_.assign(static_cast<std::size_t>(g.num_nodes()),
                   NodeState::kUndecided);
     // Perfectly reliable nodes never branch: force them up once.
@@ -54,12 +85,14 @@ class Factoring {
   /// Continue from a mid-recursion conditioning state (parallel subtrees).
   Factoring(const Digraph& g, const std::vector<NodeId>& sources, NodeId sink,
             const std::vector<double>& p, EvalCache* cache,
-            std::vector<NodeState> state)
+            const Deadline& deadline, std::vector<NodeState> state)
       : g_(g),
         sources_(sources),
         sink_(sink),
         p_(p),
         cache_(cache),
+        deadline_(deadline),
+        poller_(deadline),
         state_(std::move(state)) {}
 
   double run() { return recurse(); }
@@ -90,6 +123,7 @@ class Factoring {
         static_cast<std::size_t>(4 * pool.num_threads());
     while (!open.empty() && open.size() < target_leaves &&
            tree.size() < 8 * target_leaves) {
+      poller_.poll();
       const std::size_t id = open.front();
       open.pop_front();
       state_ = tree[id].state;
@@ -139,7 +173,8 @@ class Factoring {
     const std::vector<std::size_t> pending(open.begin(), open.end());
     pool.parallel_for(0, pending.size(), [&](std::size_t i) {
       TreeNode& leaf = tree[pending[i]];
-      Factoring sub(g_, sources_, sink_, p_, cache_, std::move(leaf.state));
+      Factoring sub(g_, sources_, sink_, p_, cache_, deadline_,
+                    std::move(leaf.state));
       leaf.value = sub.run();
       leaf.resolved = true;
     });
@@ -286,6 +321,7 @@ class Factoring {
   }
 
   double evaluate() {
+    poller_.poll();
     const Reach r = reachability();
     const auto sink_i = static_cast<std::size_t>(sink_);
     // Certain failure: no surviving path can exist any more.
@@ -313,6 +349,8 @@ class Factoring {
   NodeId sink_;
   const std::vector<double>& p_;
   EvalCache* cache_ = nullptr;
+  Deadline deadline_;
+  DeadlinePoller poller_;
   std::vector<NodeState> state_;
 };
 
@@ -324,8 +362,8 @@ class InclusionExclusion {
  public:
   InclusionExclusion(const Digraph& g, const std::vector<NodeId>& sources,
                      NodeId sink, const std::vector<double>& p,
-                     std::size_t max_paths)
-      : p_(p) {
+                     std::size_t max_paths, const Deadline& deadline)
+      : p_(p), poller_(deadline) {
     ARCHEX_REQUIRE(g.num_nodes() <= 64,
                    "inclusion–exclusion supports up to 64 nodes; "
                    "use the factoring method for larger graphs");
@@ -350,6 +388,7 @@ class InclusionExclusion {
 
  private:
   double subset_sum(std::size_t index, std::uint64_t mask, int sign) const {
+    poller_.poll();
     if (index == masks_.size()) {
       if (mask == 0) return 0.0;  // skip the empty subset
       double prob_all_up = 1.0;
@@ -367,6 +406,7 @@ class InclusionExclusion {
   }
 
   const std::vector<double>& p_;
+  mutable DeadlinePoller poller_;
   std::vector<std::uint64_t> masks_;
 };
 
@@ -394,11 +434,54 @@ double run_factoring(const Digraph& g, const std::vector<NodeId>& sources,
   std::vector<NodeId> ordered = sources;
   std::sort(ordered.begin(), ordered.end());
   ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
-  Factoring factoring(normalized, ordered, sink, p, ctx.cache);
+  Factoring factoring(normalized, ordered, sink, p, ctx.cache, ctx.deadline);
   if (ctx.pool != nullptr && ctx.pool->num_threads() > 1) {
     return factoring.run_parallel(*ctx.pool);
   }
   return factoring.run();
+}
+
+/// Canonical whole-problem key for kBdd's graph-level memoization: all
+/// nodes live, perfectly reliable nodes carrying 0.0, edges in the sorted
+/// adjacency order. This coincides with the factoring engine's *top-level*
+/// key (p == 0 nodes are forced Up there and also carry 0.0), so a cache
+/// shared across methods serves whole-graph hits to either — both values
+/// are exact; which bit pattern is resident is first-writer-wins
+/// (see the determinism contract in DESIGN.md).
+EvalKey make_whole_graph_key(const Digraph& g,
+                             const std::vector<NodeId>& sources, NodeId sink,
+                             const std::vector<double>& p) {
+  EvalKey key;
+  key.probs = p;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> succ = g.successors(u);
+    std::sort(succ.begin(), succ.end());
+    for (NodeId v : succ) key.edges.push_back({u, v});
+  }
+  std::vector<NodeId> ordered = sources;
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+  key.sources.assign(ordered.begin(), ordered.end());
+  key.sink = sink;
+  return key;
+}
+
+/// kBdd dispatch: the EvalCache memoizes whole-graph results (synthesis
+/// loops re-analyze near-identical iterates) while the manager's computed
+/// table handles intra-call sharing.
+double run_bdd(const Digraph& g, const std::vector<NodeId>& sources,
+               NodeId sink, const std::vector<double>& p,
+               const EvalContext& ctx) {
+  if (ctx.cache == nullptr) {
+    return bdd_failure_probability(g, sources, sink, p, BddOrdering::kAuto,
+                                   nullptr, ctx.deadline);
+  }
+  const EvalKey key = make_whole_graph_key(g, sources, sink, p);
+  if (const auto hit = ctx.cache->lookup(key)) return *hit;
+  const double value = bdd_failure_probability(
+      g, sources, sink, p, BddOrdering::kAuto, nullptr, ctx.deadline);
+  ctx.cache->store(key, value);
+  return value;
 }
 
 }  // namespace
@@ -414,15 +497,32 @@ double failure_probability(const Digraph& g,
     case ExactMethod::kFactoring:
       return run_factoring(g, sources, sink, p, ctx);
     case ExactMethod::kInclusionExclusion:
-      return InclusionExclusion(g, sources, sink, p, max_paths).run();
+      return InclusionExclusion(g, sources, sink, p, max_paths, ctx.deadline)
+          .run();
     case ExactMethod::kSeriesParallelAuto: {
       if (const auto reduced = series_parallel_failure(g, sources, sink, p)) {
         return *reduced;
       }
       return run_factoring(g, sources, sink, p, ctx);
     }
+    case ExactMethod::kBdd:
+      return run_bdd(g, sources, sink, p, ctx);
   }
   throw InternalError("unknown exact method");
+}
+
+EvalResult try_failure_probability(const Digraph& g,
+                                   const std::vector<NodeId>& sources,
+                                   graph::NodeId sink,
+                                   const std::vector<double>& p,
+                                   const EvalContext& ctx, ExactMethod method,
+                                   std::size_t max_paths) {
+  try {
+    return {failure_probability(g, sources, sink, p, ctx, method, max_paths),
+            EvalStatus::kOk};
+  } catch (const TimeoutError&) {
+    return {1.0, EvalStatus::kTimeLimit};
+  }
 }
 
 double failure_probability(const Digraph& g,
@@ -431,6 +531,24 @@ double failure_probability(const Digraph& g,
                            ExactMethod method, std::size_t max_paths) {
   return failure_probability(g, sources, sink, p, EvalContext{}, method,
                              max_paths);
+}
+
+std::string to_string(ExactMethod method) {
+  switch (method) {
+    case ExactMethod::kFactoring: return "factoring";
+    case ExactMethod::kInclusionExclusion: return "inclusion-exclusion";
+    case ExactMethod::kSeriesParallelAuto: return "series-parallel";
+    case ExactMethod::kBdd: return "bdd";
+  }
+  return "unknown";
+}
+
+std::optional<ExactMethod> parse_exact_method(const std::string& name) {
+  if (name == "factoring") return ExactMethod::kFactoring;
+  if (name == "inclusion-exclusion") return ExactMethod::kInclusionExclusion;
+  if (name == "series-parallel") return ExactMethod::kSeriesParallelAuto;
+  if (name == "bdd") return ExactMethod::kBdd;
+  return std::nullopt;
 }
 
 double failure_probability(const Digraph& g, const graph::Partition& partition,

@@ -22,11 +22,15 @@
 // alternative path that exists, so reliability depends on topology only.
 #pragma once
 
+#include <chrono>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "graph/partition.hpp"
 #include "rel/eval_cache.hpp"
+#include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
 namespace archex::rel {
@@ -38,19 +42,49 @@ enum class ExactMethod {
   /// architectures usually reduce completely); fall back to factoring on
   /// irreducible graphs. Always exact.
   kSeriesParallelAuto,
+  /// Compile the source->sink connectivity function into an ROBDD (src/bdd)
+  /// under a structural variable ordering and evaluate P[f = 1] in one
+  /// sweep. Exact; cost scales with BDD width rather than pathset count.
+  kBdd,
+};
+
+/// An exact analyzer exceeded the EvalContext deadline. Thrown by the
+/// `failure_probability` overloads; `try_failure_probability` converts it
+/// into EvalStatus::kTimeLimit instead.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Outcome of a deadline-aware evaluation (mirrors lp::SolveStatus).
+enum class EvalStatus {
+  kOk,
+  /// The EvalContext deadline passed mid-analysis; the value is unusable.
+  kTimeLimit,
+};
+
+struct EvalResult {
+  double failure = 1.0;
+  EvalStatus status = EvalStatus::kOk;
 };
 
 /// Optional acceleration context threaded through the exact analyzers.
-/// Both members may be null (plain serial evaluation). Only the factoring
-/// method uses them; the determinism contract (DESIGN.md) guarantees that
-/// any combination of cache state and thread count produces bit-identical
-/// results for the same inputs.
+/// All members may be defaulted (plain serial evaluation). Only the
+/// factoring and BDD methods use cache/pool; the determinism contract
+/// (DESIGN.md) guarantees that any combination of cache state and thread
+/// count produces bit-identical results for the same inputs and method.
 struct EvalContext {
-  /// Memoizes every pivot subproblem of the factoring recursion, keyed by
-  /// canonical form. Shareable across calls, iterates, and threads.
+  /// Memoizes every pivot subproblem of the factoring recursion (and
+  /// whole-graph results of the BDD method), keyed by canonical form.
+  /// Shareable across calls, iterates, and threads.
   EvalCache* cache = nullptr;
   /// Evaluates independent factoring subtrees concurrently.
   support::ThreadPool* pool = nullptr;
+  /// Wall-clock deadline polled inside the factoring recursion, the
+  /// inclusion–exclusion subset loop, and the BDD compilation, so
+  /// adversarial graphs abort promptly instead of hanging. nullopt (the
+  /// default) never times out.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Exact probability that `sink` is cut off from every node in `sources`
@@ -66,8 +100,19 @@ struct EvalContext {
     std::size_t max_paths = 1u << 20);
 
 /// Accelerated variant: consults/extends `ctx.cache` at every factoring
-/// pivot subproblem and evaluates independent subtrees on `ctx.pool`.
+/// pivot subproblem (whole-graph granularity for kBdd) and evaluates
+/// independent subtrees on `ctx.pool`. Throws TimeoutError when
+/// `ctx.deadline` trips.
 [[nodiscard]] double failure_probability(
+    const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
+    graph::NodeId sink, const std::vector<double>& p, const EvalContext& ctx,
+    ExactMethod method = ExactMethod::kFactoring,
+    std::size_t max_paths = 1u << 20);
+
+/// Deadline-tolerant variant: identical to the EvalContext overload but a
+/// tripped `ctx.deadline` is reported as EvalStatus::kTimeLimit instead of
+/// a thrown TimeoutError (mirrors lp's SolveStatus::kTimeLimit contract).
+[[nodiscard]] EvalResult try_failure_probability(
     const graph::Digraph& g, const std::vector<graph::NodeId>& sources,
     graph::NodeId sink, const std::vector<double>& p, const EvalContext& ctx,
     ExactMethod method = ExactMethod::kFactoring,
@@ -79,6 +124,14 @@ struct EvalContext {
     graph::NodeId sink, const std::vector<double>& p,
     ExactMethod method = ExactMethod::kFactoring,
     std::size_t max_paths = 1u << 20);
+
+/// Short lowercase name of the method ("factoring", "bdd", ...).
+[[nodiscard]] std::string to_string(ExactMethod method);
+
+/// Inverse of to_string; nullopt for an unknown name. Used by the bench
+/// and CLI `--method` flags.
+[[nodiscard]] std::optional<ExactMethod> parse_exact_method(
+    const std::string& name);
 
 /// Worst-case failure probability over several sinks (the requirement "r is
 /// the worst case failure probability over a set of nodes of interest").

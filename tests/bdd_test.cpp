@@ -1,0 +1,610 @@
+// Tests for the ROBDD subsystem: the BddManager engine itself (hash-consing
+// canonicity, ite rules, restrict, probability sweep, counters), the
+// rel::ExactMethod::kBdd analyzer against closed forms and the other exact
+// methods on randomized DAGs and general digraphs, the variable-ordering
+// heuristics, the whole-graph EvalCache interaction (including the
+// first-writer-wins contract across methods), and the EvalContext deadline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "graph/digraph.hpp"
+#include "rel/bdd_method.hpp"
+#include "rel/eval_cache.hpp"
+#include "rel/exact.hpp"
+#include "rel/monte_carlo.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace archex::rel {
+namespace {
+
+using bdd::BddManager;
+using bdd::BddStats;
+using bdd::Ref;
+using graph::Digraph;
+using graph::NodeId;
+
+// ---- fixtures ---------------------------------------------------------------
+
+// Series chain G -> B -> L (closed form mirrors rel_test.cpp).
+struct Series {
+  Digraph g{3};
+  std::vector<double> p;
+  Series(double pg, double pb, double pl) : p{pg, pb, pl} {
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+  }
+  [[nodiscard]] double closed_form() const {
+    return 1.0 - (1.0 - p[0]) * (1.0 - p[1]) * (1.0 - p[2]);
+  }
+};
+
+// Fig. 1b / Example 1: two disjoint chains sharing the sink L.
+// Node ids: G1=0 G2=1 B1=2 B2=3 D1=4 D2=5 L=6.
+struct Example1 {
+  Digraph g{7};
+  std::vector<double> p;
+  Example1(double pg, double pb, double pd, double pl)
+      : p{pg, pg, pb, pb, pd, pd, pl} {
+    g.add_edge(0, 2);
+    g.add_edge(2, 4);
+    g.add_edge(4, 6);
+    g.add_edge(1, 3);
+    g.add_edge(3, 5);
+    g.add_edge(5, 6);
+  }
+  [[nodiscard]] double closed_form() const {
+    const double pg = p[0], pb = p[2], pd = p[4], pl = p[6];
+    const double chain = pd + (1 - pd) * (pb + (1 - pb) * pg);
+    return pl + (1 - pl) * chain * chain;
+  }
+};
+
+/// side x side directed grid (edges right and down), source at the top-left
+/// corner, sink at the bottom-right. Treewidth `side`: irreducible for the
+/// series-parallel pass and adversarial for factoring, which makes it the
+/// deadline-test workload; the BDD method handles it comfortably.
+Digraph make_grid(int side) {
+  Digraph g(side * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const NodeId v = r * side + c;
+      if (c + 1 < side) g.add_edge(v, v + 1);
+      if (r + 1 < side) g.add_edge(v, v + side);
+    }
+  }
+  return g;
+}
+
+/// source -> `layers` fully-crossed layers of `width` rails -> sink.
+/// Exactly width^layers minimal paths.
+Digraph make_ladder(int layers, int width) {
+  const int n = layers * width + 2;
+  Digraph g(n);
+  for (int w = 0; w < width; ++w) g.add_edge(0, 1 + w);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int a = 0; a < width; ++a) {
+      for (int b = 0; b < width; ++b) {
+        g.add_edge(1 + l * width + a, 1 + (l + 1) * width + b);
+      }
+    }
+  }
+  for (int w = 0; w < width; ++w) {
+    g.add_edge(1 + (layers - 1) * width + w, n - 1);
+  }
+  return g;
+}
+
+// ---- BddManager engine ------------------------------------------------------
+
+TEST(BddManager, TerminalIteRules) {
+  BddManager mgr(2);
+  const Ref x = mgr.var(0);
+  const Ref y = mgr.var(1);
+  EXPECT_EQ(mgr.ite(BddManager::kTrue, x, y), x);
+  EXPECT_EQ(mgr.ite(BddManager::kFalse, x, y), y);
+  EXPECT_EQ(mgr.ite(x, y, y), y);
+  EXPECT_EQ(mgr.ite(x, BddManager::kTrue, BddManager::kFalse), x);
+  EXPECT_EQ(mgr.bdd_and(x, BddManager::kTrue), x);
+  EXPECT_EQ(mgr.bdd_or(x, BddManager::kFalse), x);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(x)), x);
+}
+
+TEST(BddManager, HashConsingMakesEqualFunctionsEqualRefs) {
+  BddManager mgr(2);
+  const Ref f = mgr.bdd_or(mgr.var(0), mgr.var(1));
+  // De Morgan: !(!x & !y) must reach the very same node.
+  const Ref g = mgr.bdd_not(
+      mgr.bdd_and(mgr.bdd_not(mgr.var(0)), mgr.bdd_not(mgr.var(1))));
+  EXPECT_EQ(f, g);
+  // Commuted operands: canonicity again forces one node.
+  EXPECT_EQ(mgr.bdd_and(mgr.var(0), mgr.var(1)),
+            mgr.bdd_and(mgr.var(1), mgr.var(0)));
+  EXPECT_GT(mgr.stats().unique_hits, 0u);
+}
+
+TEST(BddManager, RestrictComputesCofactors) {
+  BddManager mgr(3);
+  // f = (x0 & x1) | x2.
+  const Ref f = mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)), mgr.var(2));
+  EXPECT_EQ(mgr.restrict(f, 0, true), mgr.bdd_or(mgr.var(1), mgr.var(2)));
+  EXPECT_EQ(mgr.restrict(f, 0, false), mgr.var(2));
+  EXPECT_EQ(mgr.restrict(f, 2, true), BddManager::kTrue);
+  EXPECT_EQ(mgr.restrict(f, 2, false), mgr.bdd_and(mgr.var(0), mgr.var(1)));
+  EXPECT_EQ(mgr.restrict(mgr.var(0), 0, true), BddManager::kTrue);
+  EXPECT_EQ(mgr.restrict(mgr.var(0), 0, false), BddManager::kFalse);
+}
+
+TEST(BddManager, ProbTrueMatchesHandComputation) {
+  BddManager mgr(3);
+  const std::vector<double> p{0.3, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(mgr.prob_true(BddManager::kTrue, p), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.prob_true(BddManager::kFalse, p), 0.0);
+  const Ref a = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_NEAR(mgr.prob_true(a, p), 0.3 * 0.5, 1e-15);
+  const Ref o = mgr.bdd_or(mgr.var(0), mgr.var(1));
+  EXPECT_NEAR(mgr.prob_true(o, p), 1.0 - 0.7 * 0.5, 1e-15);
+  // P[(x0 & x1) | x2] = p2 + (1 - p2) p0 p1 (x2 independent of the rest).
+  const Ref f = mgr.bdd_or(a, mgr.var(2));
+  EXPECT_NEAR(mgr.prob_true(f, p), 0.2 + 0.8 * 0.15, 1e-15);
+}
+
+TEST(BddManager, StatsCountConsingAndComputedTraffic) {
+  BddManager mgr(2);
+  const Ref a = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  const std::uint64_t lookups_before = mgr.stats().computed_lookups;
+  const Ref b = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(a, b);
+  const BddStats& s = mgr.stats();
+  // x0, x1, and the conjunction: three decision nodes plus two terminals.
+  EXPECT_EQ(s.unique_entries, static_cast<std::size_t>(3));
+  EXPECT_EQ(s.nodes_allocated, static_cast<std::size_t>(5));
+  EXPECT_GT(s.computed_lookups, lookups_before);
+  EXPECT_GT(s.computed_hits, 0u);  // the repeated ite is a computed-table hit
+  EXPECT_GT(s.unique_occupancy(), 0.0);
+  EXPECT_GE(s.computed_hit_rate(), 0.0);
+  EXPECT_LE(s.computed_hit_rate(), 1.0);
+}
+
+TEST(BddManager, ParityIsCanonicalAndTableLoadStaysBounded) {
+  // Parity of n variables has exactly 2n - 1 decision nodes in the ROBDD; a
+  // wrong reduction or consing bug inflates the count immediately.
+  BddManager mgr(16);
+  Ref f = BddManager::kFalse;
+  for (int i = 0; i < 16; ++i) f = mgr.ite(mgr.var(i), mgr.bdd_not(f), f);
+  EXPECT_EQ(mgr.num_nodes(f), static_cast<std::size_t>(31));
+  const BddStats& s = mgr.stats();
+  EXPECT_GE(s.unique_buckets, s.unique_entries);  // rehash keeps load <= 1
+  EXPECT_NEAR(mgr.prob_true(f, std::vector<double>(16, 0.5)), 0.5, 1e-15);
+}
+
+TEST(BddManager, NumNodesCountsDecisionNodesOnly) {
+  BddManager mgr(2);
+  EXPECT_EQ(mgr.num_nodes(BddManager::kTrue), static_cast<std::size_t>(0));
+  EXPECT_EQ(mgr.num_nodes(mgr.var(0)), static_cast<std::size_t>(1));
+  EXPECT_EQ(mgr.num_nodes(mgr.bdd_and(mgr.var(0), mgr.var(1))),
+            static_cast<std::size_t>(2));
+}
+
+// ---- kBdd against closed forms ----------------------------------------------
+
+TEST(BddMethod, SeriesChainMatchesClosedForm) {
+  const Series s(0.1, 0.2, 0.05);
+  EXPECT_NEAR(failure_probability(s.g, {0}, 2, s.p, ExactMethod::kBdd),
+              s.closed_form(), 1e-15);
+}
+
+TEST(BddMethod, Example1MatchesPaperClosedForm) {
+  const Example1 small(2e-4, 2e-4, 2e-4, 0.0);
+  EXPECT_NEAR(failure_probability(small.g, {0, 1}, 6, small.p,
+                                  ExactMethod::kBdd),
+              small.closed_form(), 1e-15);
+  const Example1 large(0.3, 0.2, 0.1, 0.05);
+  EXPECT_NEAR(failure_probability(large.g, {0, 1}, 6, large.p,
+                                  ExactMethod::kBdd),
+              large.closed_form(), 1e-12);
+}
+
+TEST(BddMethod, EdgeCasesMatchFactoringSemantics) {
+  // Sink == the only source: fails exactly when it fails itself.
+  Digraph chain(2);
+  chain.add_edge(0, 1);
+  EXPECT_NEAR(failure_probability(chain, {0}, 0, {0.25, 0.5},
+                                  ExactMethod::kBdd),
+              0.25, 1e-15);
+  // Unreachable sink: certain failure.
+  Digraph split(3);
+  split.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(failure_probability(split, {0}, 2, {0.1, 0.1, 0.1},
+                                       ExactMethod::kBdd),
+                   1.0);
+  // No sources: certain failure.
+  EXPECT_DOUBLE_EQ(failure_probability(chain, {}, 1, {0.0, 0.0},
+                                       ExactMethod::kBdd),
+                   1.0);
+  // A p = 1 node on the only path: certain failure.
+  const Series cut(0.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(failure_probability(cut.g, {0}, 2, cut.p,
+                                       ExactMethod::kBdd),
+                   1.0);
+  // All components perfect: zero failure.
+  const Example1 perfect(0.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(failure_probability(perfect.g, {0, 1}, 6, perfect.p,
+                                       ExactMethod::kBdd),
+                   0.0);
+}
+
+TEST(BddMethod, ValidatesInputs) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)failure_probability(g, {0}, 5, {0.1, 0.1},
+                                         ExactMethod::kBdd),
+               PreconditionError);
+  EXPECT_THROW((void)failure_probability(g, {0}, 1, {0.1}, ExactMethod::kBdd),
+               PreconditionError);
+  EXPECT_THROW((void)failure_probability(g, {0}, 1, {0.1, 1.5},
+                                         ExactMethod::kBdd),
+               PreconditionError);
+  EXPECT_THROW((void)failure_probability(g, {9}, 1, {0.1, 0.1},
+                                         ExactMethod::kBdd),
+               PreconditionError);
+}
+
+TEST(BddMethod, GridMatchesFactoring) {
+  const Digraph g = make_grid(4);
+  const std::vector<double> p(16, 0.2);
+  const double rf = failure_probability(g, {0}, 15, p,
+                                        ExactMethod::kFactoring);
+  EXPECT_NEAR(failure_probability(g, {0}, 15, p, ExactMethod::kBdd), rf,
+              1e-12);
+}
+
+TEST(BddMethod, WorstOverSinksSupportsBdd) {
+  Digraph g(5);
+  const graph::Partition part({0, 0, 1, 2, 2});
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(2, 4);
+  const std::vector<double> p{0.1, 0.1, 0.0, 0.0, 0.3};
+  EXPECT_DOUBLE_EQ(
+      worst_failure_probability(g, part, {3, 4}, p, ExactMethod::kBdd),
+      worst_failure_probability(g, part, {3, 4}, p, ExactMethod::kFactoring));
+}
+
+TEST(BddMethod, StatsReportEngineCounters) {
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  BddEvalStats stats;
+  const double r = bdd_failure_probability(e.g, {0, 1}, 6, e.p,
+                                           BddOrdering::kAuto, &stats);
+  EXPECT_NEAR(r, e.closed_form(), 1e-12);
+  EXPECT_EQ(stats.num_vars, 7);  // every node fallible -> one var each
+  EXPECT_GE(stats.fixpoint_rounds, 1);
+  EXPECT_LE(stats.fixpoint_rounds, 8);
+  EXPECT_GT(stats.final_nodes, 0u);
+  EXPECT_GE(stats.peak_nodes, stats.final_nodes);
+  EXPECT_GT(stats.unique_entries, 0u);
+  EXPECT_GT(stats.computed_lookups, 0u);
+  EXPECT_GE(stats.computed_hit_rate, 0.0);
+  EXPECT_LE(stats.computed_hit_rate, 1.0);
+}
+
+TEST(BddMethod, PerfectlyReliableNodesConsumeNoVariable) {
+  const Example1 e(2e-4, 2e-4, 2e-4, 0.0);  // the sink never fails
+  BddEvalStats stats;
+  (void)bdd_failure_probability(e.g, {0, 1}, 6, e.p, BddOrdering::kAuto,
+                                &stats);
+  EXPECT_EQ(stats.num_vars, 6);
+}
+
+// ---- variable orderings -----------------------------------------------------
+
+TEST(BddOrder, TopologicalOrderRespectsEdges) {
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  const std::vector<NodeId> order =
+      bdd_variable_order(e.g, {0, 1}, 6, BddOrdering::kTopological);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(7));
+  std::vector<int> pos(7, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId u = 0; u < e.g.num_nodes(); ++u) {
+    EXPECT_GE(pos[static_cast<std::size_t>(u)], 0);  // a permutation
+    for (NodeId v : e.g.successors(u)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(u)],
+                pos[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(BddOrder, CyclicGraphFallsBackToBfsLevels) {
+  Digraph g(3);  // 0 -> 1 -> 2 -> 0: no topological order exists
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_EQ(bdd_variable_order(g, {0}, 2, BddOrdering::kTopological),
+            bdd_variable_order(g, {0}, 2, BddOrdering::kBfsLevel));
+}
+
+TEST(BddOrder, DegreeOrderPutsHubsFirst) {
+  Digraph g(4);  // star into node 3
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<NodeId> order =
+      bdd_variable_order(g, {0, 1, 2}, 3, BddOrdering::kDegree);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(4));
+  EXPECT_EQ(order[0], 3);  // degree 3 beats the leaves
+}
+
+TEST(BddOrder, IrrelevantNodesAreExcluded) {
+  // Node 7 is isolated and node 8 dead-ends away from the sink: neither can
+  // influence connectivity, so neither gets a branch position.
+  Example1 e(0.3, 0.2, 0.1, 0.05);
+  Digraph g(9);
+  for (NodeId u = 0; u < e.g.num_nodes(); ++u) {
+    for (NodeId v : e.g.successors(u)) g.add_edge(u, v);
+  }
+  g.add_edge(0, 8);
+  for (BddOrdering ord : {BddOrdering::kTopological, BddOrdering::kBfsLevel,
+                          BddOrdering::kDegree}) {
+    const std::vector<NodeId> order = bdd_variable_order(g, {0, 1}, 6, ord);
+    EXPECT_EQ(order.size(), static_cast<std::size_t>(7));
+    EXPECT_EQ(std::count(order.begin(), order.end(), 7), 0);
+    EXPECT_EQ(std::count(order.begin(), order.end(), 8), 0);
+  }
+}
+
+TEST(BddOrder, AllOrderingsComputeTheSameProbability) {
+  const Digraph g = make_grid(4);
+  const std::vector<double> p(16, 0.25);
+  const double rf = failure_probability(g, {0}, 15, p,
+                                        ExactMethod::kFactoring);
+  for (BddOrdering ord : {BddOrdering::kAuto, BddOrdering::kTopological,
+                          BddOrdering::kBfsLevel, BddOrdering::kDegree}) {
+    EXPECT_NEAR(bdd_failure_probability(g, {0}, 15, p, ord), rf, 1e-12);
+  }
+}
+
+// ---- randomized differential suites ----------------------------------------
+//
+// 120 random DAGs + 120 random general digraphs (cycles allowed): kBdd must
+// agree with factoring to 1e-12 everywhere, with inclusion–exclusion where
+// the path count permits it, and with Monte Carlo on a subsample of seeds.
+
+class BddDifferentialDag : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddDifferentialDag, AgreesOnRandomDags) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 3);
+  const int n = 5 + static_cast<int>(rng.next_below(5));  // 5..9 nodes
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(0.4)) g.add_edge(u, v);
+    }
+  }
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (auto& v : p) v = rng.next_double() * 0.5;
+  const NodeId sink = n - 1;
+  const std::vector<NodeId> sources{0, 1};
+
+  const double rf =
+      failure_probability(g, sources, sink, p, ExactMethod::kFactoring);
+  const double rb = failure_probability(g, sources, sink, p,
+                                        ExactMethod::kBdd);
+  EXPECT_NEAR(rb, rf, 1e-12);
+  try {
+    const double ri = failure_probability(g, sources, sink, p,
+                                          ExactMethod::kInclusionExclusion);
+    EXPECT_NEAR(rb, ri, 1e-9);
+  } catch (const PreconditionError&) {
+    // too many paths for inclusion–exclusion; factoring already cross-checks
+  }
+  if (GetParam() % 8 == 0) {
+    Rng mc_rng(static_cast<std::uint64_t>(GetParam()) + 555u);
+    const MonteCarloResult mc =
+        monte_carlo_failure(g, sources, sink, p, 20000, mc_rng);
+    EXPECT_NEAR(mc.estimate, rb, std::max(5.0 * mc.std_error, 0.01));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddDifferentialDag, ::testing::Range(0, 120));
+
+class BddDifferentialDigraph : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddDifferentialDigraph, AgreesOnRandomDigraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  const int n = 5 + static_cast<int>(rng.next_below(5));  // 5..9 nodes
+  Digraph g(n);
+  // Edges in both index directions: cycles are common at this density, so
+  // the fixed point genuinely iterates (and the topological ordering falls
+  // back to BFS levels).
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.next_bernoulli(0.25)) g.add_edge(u, v);
+    }
+  }
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (auto& v : p) v = rng.next_double() * 0.5;
+  const NodeId sink = n - 1;
+  const std::vector<NodeId> sources{0};
+
+  const double rf =
+      failure_probability(g, sources, sink, p, ExactMethod::kFactoring);
+  const double rb = failure_probability(g, sources, sink, p,
+                                        ExactMethod::kBdd);
+  EXPECT_NEAR(rb, rf, 1e-12);
+  if (GetParam() % 4 == 0) {
+    for (BddOrdering ord : {BddOrdering::kTopological, BddOrdering::kBfsLevel,
+                            BddOrdering::kDegree}) {
+      EXPECT_NEAR(bdd_failure_probability(g, sources, sink, p, ord), rf,
+                  1e-12);
+    }
+  }
+  try {
+    const double ri = failure_probability(g, sources, sink, p,
+                                          ExactMethod::kInclusionExclusion);
+    EXPECT_NEAR(rb, ri, 1e-9);
+  } catch (const PreconditionError&) {
+    // too many paths (or nodes) for inclusion–exclusion on this seed
+  }
+  if (GetParam() % 8 == 0) {
+    Rng mc_rng(static_cast<std::uint64_t>(GetParam()) + 999u);
+    const MonteCarloResult mc =
+        monte_carlo_failure(g, sources, sink, p, 20000, mc_rng);
+    EXPECT_NEAR(mc.estimate, rb, std::max(5.0 * mc.std_error, 0.01));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddDifferentialDigraph,
+                         ::testing::Range(0, 120));
+
+// ---- EvalCache interaction --------------------------------------------------
+
+TEST(BddCache, WholeGraphResultIsMemoized) {
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  EvalCache cache;
+  EvalContext ctx;
+  ctx.cache = &cache;
+  const double first =
+      failure_probability(e.g, {0, 1}, 6, e.p, ctx, ExactMethod::kBdd);
+  const EvalCache::Stats after_first = cache.stats();
+  EXPECT_EQ(after_first.size, static_cast<std::size_t>(1));
+  EXPECT_EQ(after_first.hits, 0u);
+  const double second =
+      failure_probability(e.g, {0, 1}, 6, e.p, ctx, ExactMethod::kBdd);
+  EXPECT_EQ(second, first);  // bit-identical: served from the cache
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BddCache, FirstWriterWinsAcrossMethods) {
+  // The kBdd whole-graph key coincides with factoring's top-level pivot key
+  // by design (DESIGN.md determinism contract): whichever method runs first
+  // serves the other bit-for-bit.
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  EvalCache cache;
+  EvalContext ctx;
+  ctx.cache = &cache;
+  const double rf =
+      failure_probability(e.g, {0, 1}, 6, e.p, ctx, ExactMethod::kFactoring);
+  const EvalCache::Stats before = cache.stats();
+  const double rb =
+      failure_probability(e.g, {0, 1}, 6, e.p, ctx, ExactMethod::kBdd);
+  EXPECT_EQ(rb, rf);  // the factoring-written entry answered the BDD call
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+}
+
+TEST(BddParallel, SharedCacheMixedMethodsUnderContention) {
+  // Exercised under tsan: many pool tasks hammer one EvalCache while
+  // alternating between the BDD and factoring analyzers (factoring itself
+  // fanning out on the same pool), with two distinct problems in flight.
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  const Digraph grid = make_grid(4);
+  const std::vector<double> gp(16, 0.2);
+  const double r_example =
+      failure_probability(e.g, {0, 1}, 6, e.p, ExactMethod::kFactoring);
+  const double r_grid =
+      failure_probability(grid, {0}, 15, gp, ExactMethod::kFactoring);
+
+  EvalCache cache;
+  support::ThreadPool pool(4);
+  std::vector<double> out(32, -1.0);
+  pool.parallel_for(0, out.size(), [&](std::size_t i) {
+    EvalContext ctx;
+    ctx.cache = &cache;
+    const ExactMethod method =
+        (i % 2 == 0) ? ExactMethod::kBdd : ExactMethod::kFactoring;
+    if (method == ExactMethod::kFactoring) ctx.pool = &pool;  // nest-safe
+    if (i % 4 < 2) {
+      out[i] = failure_probability(e.g, {0, 1}, 6, e.p, ctx, method);
+    } else {
+      out[i] = failure_probability(grid, {0}, 15, gp, ctx, method);
+    }
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double expected = (i % 4 < 2) ? r_example : r_grid;
+    EXPECT_NEAR(out[i], expected, 1e-12) << "task " << i;
+  }
+}
+
+// ---- deadlines --------------------------------------------------------------
+
+TEST(BddDeadline, ExpiredDeadlineReportsTimeLimit) {
+  // An 8x8 grid: hard enough that every analyzer performs well over one
+  // poll interval of work, so an already-passed deadline must trip.
+  const int side = 8;
+  const Digraph g = make_grid(side);
+  const std::vector<double> p(static_cast<std::size_t>(side * side), 0.3);
+  const NodeId sink = side * side - 1;
+  EvalContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  for (ExactMethod m : {ExactMethod::kFactoring,
+                        ExactMethod::kSeriesParallelAuto, ExactMethod::kBdd}) {
+    const EvalResult r = try_failure_probability(g, {0}, sink, p, ctx, m);
+    EXPECT_EQ(r.status, EvalStatus::kTimeLimit) << to_string(m);
+  }
+}
+
+TEST(BddDeadline, InclusionExclusionHonorsDeadline) {
+  // 2^4 = 16 minimal paths stay under the method's path cap while the
+  // 2^16-term subset loop spans many poll intervals.
+  const Digraph g = make_ladder(4, 2);
+  const std::vector<double> p(static_cast<std::size_t>(g.num_nodes()), 0.3);
+  EvalContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const EvalResult r = try_failure_probability(
+      g, {0}, g.num_nodes() - 1, p, ctx, ExactMethod::kInclusionExclusion);
+  EXPECT_EQ(r.status, EvalStatus::kTimeLimit);
+}
+
+TEST(BddDeadline, ThrowingOverloadThrowsTimeoutError) {
+  const Digraph g = make_grid(8);
+  const std::vector<double> p(64, 0.3);
+  EvalContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_THROW(
+      (void)failure_probability(g, {0}, 63, p, ctx, ExactMethod::kBdd),
+      TimeoutError);
+}
+
+TEST(BddDeadline, GenerousDeadlineCompletes) {
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  EvalContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() + std::chrono::minutes(10);
+  for (ExactMethod m :
+       {ExactMethod::kFactoring, ExactMethod::kInclusionExclusion,
+        ExactMethod::kSeriesParallelAuto, ExactMethod::kBdd}) {
+    const EvalResult r = try_failure_probability(e.g, {0, 1}, 6, e.p, ctx, m);
+    EXPECT_EQ(r.status, EvalStatus::kOk) << to_string(m);
+    EXPECT_NEAR(r.failure, e.closed_form(), 1e-12) << to_string(m);
+  }
+}
+
+TEST(BddDeadline, NoDeadlineNeverTimesOut) {
+  const Example1 e(0.3, 0.2, 0.1, 0.05);
+  const EvalContext ctx;  // deadline defaults to nullopt
+  const EvalResult r =
+      try_failure_probability(e.g, {0, 1}, 6, e.p, ctx, ExactMethod::kBdd);
+  EXPECT_EQ(r.status, EvalStatus::kOk);
+  EXPECT_NEAR(r.failure, e.closed_form(), 1e-12);
+}
+
+// ---- method name round-trip -------------------------------------------------
+
+TEST(BddMethod, NameRoundTrip) {
+  for (ExactMethod m :
+       {ExactMethod::kFactoring, ExactMethod::kInclusionExclusion,
+        ExactMethod::kSeriesParallelAuto, ExactMethod::kBdd}) {
+    const auto parsed = parse_exact_method(to_string(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_exact_method("robdd").has_value());
+}
+
+}  // namespace
+}  // namespace archex::rel
