@@ -53,6 +53,9 @@ json::Value run_to_json(const RunRecord& run) {
   o["seconds"] = run.result.solve_seconds;
   o["objective"] = run.result.objective;
   o["nodes"] = count(run.result.nodes_explored);
+  o["nodes_pruned"] = count(run.result.nodes_pruned);
+  o["steals"] = count(run.result.steal_count);
+  o["threads"] = json::Value(static_cast<long long>(run.result.threads_used));
   o["lp_pivots"] = count(run.result.lp_pivots);
   o["lp_scratch_solves"] = count(run.result.lp_scratch_solves);
   o["lp_dual_reopts"] = count(run.result.lp_dual_reopts);
@@ -165,8 +168,72 @@ int main(int argc, char** argv) {
               largest_name.c_str(), speedup, largest_dense_s,
               largest_sparse_s);
 
+  // Speedup vs threads on the largest ILP-AR instance: the parallel
+  // work-stealing tree search against the serial baseline (threads = 0).
+  // Efficiency is bounded by the host's cores — the per-worker node counts
+  // in the JSON show whether the pool kept every worker fed.
+  std::puts("\n=== Parallel branch & bound: speedup vs threads (ilp-ar-g2) ===\n");
+  json::Array scaling_json;
+  {
+    eps::EpsSpec spec;
+    spec.num_generators = 2;
+    const eps::EpsTemplate eps = eps::make_eps_template(spec);
+    core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+    core::IlpArOptions options;
+    options.target_failure = 2e-6;
+    core::encode_ilp_ar(ilp, options);
+    const ilp::Model& model = ilp.model();
+
+    TextTable scaling({"threads", "status", "time (s)", "speedup", "nodes",
+                       "pruned", "steals"});
+    double serial_s = 0.0;
+    for (const int threads : {0, 2, 4, 8}) {
+      ilp::BranchAndBoundOptions bopt;
+      bopt.time_limit_seconds = 120.0;
+      bopt.threads = threads;
+      ilp::BranchAndBoundSolver solver(bopt);
+      const ilp::IlpResult res = solver.solve(model);
+      if (threads == 0) serial_s = res.solve_seconds;
+      const double thread_speedup =
+          res.solve_seconds > 0.0 ? serial_s / res.solve_seconds : 0.0;
+      scaling.add_row({std::to_string(threads == 0 ? 1 : threads),
+                       to_string(res.status),
+                       format_fixed(res.solve_seconds, 3),
+                       format_fixed(thread_speedup, 2),
+                       format_count(res.nodes_explored),
+                       format_count(res.nodes_pruned),
+                       format_count(res.steal_count)});
+      std::fputs(scaling.to_string().c_str(), stdout);
+      std::fflush(stdout);
+      std::puts("");
+
+      json::Object o;
+      o["threads"] = threads;
+      o["status"] = to_string(res.status);
+      o["seconds"] = res.solve_seconds;
+      o["objective"] = res.objective;
+      o["speedup_vs_serial"] = thread_speedup;
+      o["nodes"] = static_cast<long long>(res.nodes_explored);
+      o["nodes_pruned"] = static_cast<long long>(res.nodes_pruned);
+      o["steals"] = static_cast<long long>(res.steal_count);
+      json::Array worker_nodes;
+      for (long nodes : res.worker_nodes) {
+        worker_nodes.push_back(static_cast<long long>(nodes));
+      }
+      o["worker_nodes"] = std::move(worker_nodes);
+      json::Array worker_pivots;
+      for (long pivots : res.worker_lp_iterations) {
+        worker_pivots.push_back(static_cast<long long>(pivots));
+      }
+      o["worker_lp_iterations"] = std::move(worker_pivots);
+      scaling_json.push_back(std::move(o));
+    }
+  }
+
   json::Object section;
   section["instances"] = std::move(instances_json);
+  section["threads_scaling_instance"] = std::string("ilp-ar-g2");
+  section["threads_scaling"] = std::move(scaling_json);
   section["largest_instance"] = largest_name;
   section["largest_dense_seconds"] = largest_dense_s;
   section["largest_sparse_seconds"] = largest_sparse_s;

@@ -14,7 +14,8 @@
 // instances (g = 2..4; the bundled B&B replaces CPLEX, see EXPERIMENTS.md);
 // r* is set per size to the tightest value the template can meet.
 // `--threads N` (default 1) sizes the worker pool handed to ILP-MR's exact
-// reliability analysis; one EvalCache is shared across every row and
+// reliability analysis AND the branch & bound's work-stealing tree search
+// (threads >= 2); one EvalCache is shared across every row and
 // strategy, so repeated subproblems (the same architecture iterates recur
 // across LEARNCONS/lazy and across sweep targets) are answered from memory.
 // The cache hit rate is reported after the table.
@@ -38,10 +39,12 @@ using namespace archex;
 // NOTE: the template is passed in (not created here) because the returned
 // report's Configuration references it — templates must outlive results.
 core::IlpMrReport run(const eps::EpsTemplate& eps, double target, bool lazy,
-                      rel::EvalCache* cache, support::ThreadPool* pool) {
+                      rel::EvalCache* cache, support::ThreadPool* pool,
+                      int threads) {
   core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
   ilp::BranchAndBoundOptions bopt;
   bopt.time_limit_seconds = 60.0;
+  bopt.threads = threads;  // >= 2: parallel work-stealing tree search
   ilp::BranchAndBoundSolver solver(bopt);
   core::IlpMrOptions options;
   options.target_failure = target;
@@ -102,7 +105,7 @@ int main(int argc, char** argv) {
     for (const bool lazy : {false, true}) {
       if (lazy && !row.run_lazy) continue;
       const core::IlpMrReport rep =
-          run(eps, row.target, lazy, &cache, &pool);
+          run(eps, row.target, lazy, &cache, &pool, threads);
       {
         json::Object o;
         o["generators"] = row.generators;
@@ -112,6 +115,10 @@ int main(int argc, char** argv) {
         o["iterations"] = rep.num_iterations();
         o["analysis_seconds"] = rep.analysis_seconds;
         o["solver_seconds"] = rep.solver_seconds;
+        o["solver_nodes"] = static_cast<long long>(rep.solver_nodes);
+        o["solver_nodes_pruned"] =
+            static_cast<long long>(rep.solver_nodes_pruned);
+        o["solver_steals"] = static_cast<long long>(rep.solver_steals);
         if (rep.configuration) {
           o["cost"] = rep.configuration->total_cost();
           o["failure"] = rep.failure;

@@ -53,6 +53,7 @@ struct Args {
   bool importance = false;
   bool cuts = false;
   double time_limit = 300.0;
+  int threads = 0;  // 0 = serial branch & bound
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -61,6 +62,7 @@ struct Args {
       "usage:\n"
       "  archex_cli synth   (--eps N | --template F) --target R\n"
       "                     [--algorithm mr|ar] [--lazy] [--time-limit S]\n"
+      "                     [--threads N]\n"
       "                     [--accept-incumbent] [--dot F] [--save F] "
       "[--mps F]\n"
       "  archex_cli analyze (--eps N | --template F) --config F\n"
@@ -90,6 +92,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--target") a.target = std::stod(value());
     else if (flag == "--algorithm") a.algorithm = value();
     else if (flag == "--time-limit") a.time_limit = std::stod(value());
+    else if (flag == "--threads") a.threads = std::stoi(value());
     else if (flag == "--lazy") a.lazy = true;
     else if (flag == "--accept-incumbent") a.accept_incumbent = true;
     else if (flag == "--importance") a.importance = true;
@@ -154,6 +157,7 @@ int cmd_synth(const Args& a) {
 
   ilp::BranchAndBoundOptions bopt;
   bopt.time_limit_seconds = a.time_limit;
+  bopt.threads = a.threads;  // >= 2 enables the work-stealing tree search
   ilp::BranchAndBoundSolver solver(bopt);
 
   std::optional<core::Configuration> config;

@@ -122,6 +122,8 @@ IlpArReport run_ilp_ar(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   solve.stop();
   report.solver_seconds = solve.elapsed_seconds();
   report.solver_nodes = result.nodes_explored;
+  report.solver_nodes_pruned = result.nodes_pruned;
+  report.solver_steals = result.steal_count;
 
   if (result.status == ilp::IlpStatus::kInfeasible) {
     report.status = SynthesisStatus::kUnfeasible;

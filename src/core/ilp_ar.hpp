@@ -60,6 +60,10 @@ struct IlpArReport {
   double setup_seconds = 0.0;
   double solver_seconds = 0.0;
   long solver_nodes = 0;
+  /// Parallel-search statistics of the solve (zero for serial solvers):
+  /// bound-pruned nodes and pool nodes expanded by a non-donating worker.
+  long solver_nodes_pruned = 0;
+  long solver_steals = 0;
 };
 
 /// Size of a GENILP-AR encoding without solving (Table III's constraint

@@ -231,6 +231,8 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
     const ilp::IlpResult result = solver.solve(ilp.model());
     solver_watch.stop();
     report.solver_nodes += result.nodes_explored;
+    report.solver_nodes_pruned += result.nodes_pruned;
+    report.solver_steals += result.steal_count;
 
     if (result.status == ilp::IlpStatus::kInfeasible) {
       report.status = SynthesisStatus::kUnfeasible;

@@ -88,6 +88,10 @@ struct IlpMrReport {
   double analysis_seconds = 0.0;
   double solver_seconds = 0.0;
   long solver_nodes = 0;
+  /// Parallel-search statistics summed over all SolveILP iterations (zero
+  /// for serial solvers): bound-pruned nodes and work-stealing pool steals.
+  long solver_nodes_pruned = 0;
+  long solver_steals = 0;
 
   // Final model size.
   int num_rows = 0;

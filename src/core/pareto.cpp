@@ -28,6 +28,8 @@ ParetoFrontier sweep_pareto_frontier(
     ar.pool = options.pool;
     ar.method = options.method;
     IlpArReport report = run_ilp_ar(ilp, solver, ar);
+    frontier.solver_nodes += report.solver_nodes;
+    frontier.solver_steals += report.solver_steals;
 
     frontier.terminal_status = report.status;
     if (report.status != SynthesisStatus::kSuccess) break;

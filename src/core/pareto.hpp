@@ -63,6 +63,11 @@ struct ParetoFrontier {
   bool tightening_stalled = false;
   double stalled_target = 0.0;          // the r* of the stalled step
   double stalled_approx_failure = 0.0;  // the r̃ it achieved
+
+  // Solver effort aggregated over every sweep step (including the terminal
+  // one), for the benches' parallel-efficiency reporting.
+  long solver_nodes = 0;
+  long solver_steals = 0;
 };
 
 /// Sweep the frontier. `make_base_ilp` must produce a fresh base ILP

@@ -75,6 +75,18 @@ class BalasSearch {
              std::abs(cost_[static_cast<std::size_t>(b)]);
     });
 
+    // Domains: a binary narrowed by Model::fix (or any bound change) must
+    // not be enumerated on both sides — bounds are constraints just like
+    // rows, and is_feasible() checks them.
+    allowed0_.resize(static_cast<std::size_t>(n_));
+    allowed1_.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      allowed0_[static_cast<std::size_t>(j)] =
+          model_.lower_bound(Var{j}) <= 0.5;
+      allowed1_[static_cast<std::size_t>(j)] =
+          model_.upper_bound(Var{j}) >= 0.5;
+    }
+
     // Row tables: per-row term list and the running achievable interval.
     const int m = model_.num_rows();
     row_lo_.resize(static_cast<std::size_t>(m));
@@ -143,6 +155,10 @@ class BalasSearch {
     const int first = (c >= 0.0) ? 0 : 1;
     for (int side = 0; side < 2; ++side) {
       const int v = (side == 0) ? first : 1 - first;
+      if (v == 0 ? !allowed0_[static_cast<std::size_t>(j)]
+                 : !allowed1_[static_cast<std::size_t>(j)]) {
+        continue;  // outside the variable's (possibly fixed) domain
+      }
       assign(j, v);
       dive(pos + 1, fixed_cost + (v ? c : 0.0));
       unassign(j, v);
@@ -185,6 +201,9 @@ class BalasSearch {
   std::vector<double> cost_;
   std::vector<int> order_;
   std::vector<double> neg_suffix_;
+  // Per-variable domain after bound changes (std::vector<bool> avoided on
+  // the hot path).
+  std::vector<char> allowed0_, allowed1_;
 
   std::vector<double> row_lo_, row_up_, row_min_, row_max_;
   std::vector<std::vector<std::pair<int, double>>> var_rows_;

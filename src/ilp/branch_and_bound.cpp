@@ -1,15 +1,43 @@
 // LP-relaxation branch & bound for 0/1 mixed-integer programs.
 //
-// Depth-first search with best-incumbent pruning. At each node the LP
+// Serial mode (BranchAndBoundOptions::threads <= 1, the default) is a
+// depth-first search with best-incumbent pruning: at each node the LP
 // relaxation (bounded-variable simplex, archex::lp) is solved with the
 // branching decisions imposed as variable-bound changes; fractional integral
 // variables trigger a two-way branch ordered toward the LP value's rounding
 // direction, which tends to find feasible architectures early on the
 // synthesis models produced by ILP-MR / ILP-AR.
+//
+// Parallel mode (threads >= 2) is a best-first/DFS hybrid with work
+// stealing (DESIGN.md §4e): a lock-guarded global NodePool ordered by
+// relaxation bound feeds workers that dive depth-first with their *own*
+// SimplexEngine (private LU basis and warm-start state). While diving, a
+// worker donates the non-preferred branch child to the pool whenever the
+// pool runs low, so idle workers steal near-root, high-potential subtrees.
+// The incumbent is shared through an atomic objective bound
+// (compare-exchange acceptance, relaxed-order reads while pruning) plus a
+// mutex-published assignment; a node stolen from the pool is re-checked
+// against the freshest bound *under the pool lock* before it is expanded.
+// Any worker tripping a limit (time, nodes, numerics) records the abort
+// status with a first-writer-wins compare-exchange, so a kTimeLimit from
+// one worker is never masked by another worker draining its subtree to
+// completion afterwards.
+//
+// options.deterministic turns the pool into a serialized LIFO: nodes are
+// expanded one at a time through a single shared engine in exactly the
+// serial DFS preorder, which reproduces the serial run bit-for-bit (node
+// ordering, incumbent sequence, statistics, solution) for debugging
+// parallel-search discrepancies.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "ilp/solver.hpp"
@@ -18,6 +46,7 @@
 #include "lp/simplex.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace archex::ilp {
 
@@ -34,127 +63,397 @@ std::string to_string(IlpStatus status) {
 
 namespace {
 
-class Search {
- public:
-  Search(const Model& model, const BranchAndBoundOptions& options)
-      : model_(model),
-        opt_(options),
-        pre_(make_presolve(model, options)),
-        engine_(pre_.reduced, options.lp) {
+constexpr double kInfObj = std::numeric_limits<double>::infinity();
+
+// One acceptance rule for every incumbent candidate — the integral-leaf
+// path and the root rounding heuristic used to apply different feasibility
+// and improvement tolerances, so which of two equal-cost incumbents
+// survived depended on where it was found.
+constexpr double kFeasTol = 1e-5;
+constexpr double kImproveTol = 1e-9;
+
+/// Lower the model to an LP and presolve it (or wrap it in an identity
+/// reduction when presolve is off). Branching and incumbent checks all
+/// happen in the model's variable space via pre.postsolve()/var_map.
+lp::PresolveResult make_presolve(const Model& model,
+                                 const BranchAndBoundOptions& opt) {
+  lp::Problem full = model.to_lp();
+  if (!opt.presolve) {
+    lp::PresolveResult identity;
+    identity.var_map.resize(static_cast<std::size_t>(model.num_variables()));
     for (int j = 0; j < model.num_variables(); ++j) {
-      if (model.is_integral(Var{j})) integral_.push_back(j);
+      identity.var_map[static_cast<std::size_t>(j)] = j;
     }
-    objective_integral_ = detect_integral_objective();
+    identity.fixed_value.assign(
+        static_cast<std::size_t>(model.num_variables()), 0.0);
+    identity.reduced = std::move(full);
+    return identity;
+  }
+  std::vector<bool> integer_cols(
+      static_cast<std::size_t>(full.num_variables()), false);
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.is_integral(Var{j})) {
+      integer_cols[static_cast<std::size_t>(j)] = true;
+    }
+  }
+  return lp::presolve(full, integer_cols);
+}
+
+/// Fractional integral variable of the highest branching priority (most
+/// fractional within the class), or -1 when integral within tolerance.
+int pick_branch_variable(const Model& model, const std::vector<int>& integral,
+                         double int_tol, const std::vector<double>& x) {
+  int best = -1;
+  int best_priority = std::numeric_limits<int>::min();
+  double best_score = 0.0;
+  for (int j : integral) {
+    const double v = x[static_cast<std::size_t>(j)];
+    const double score = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (score <= int_tol) continue;
+    const int priority = model.branch_priority(Var{j});
+    if (priority > best_priority ||
+        (priority == best_priority && score > best_score)) {
+      best_priority = priority;
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool detect_integral_objective(const Model& model) {
+  for (const lp::Term& t : model.objective().terms()) {
+    if (!model.is_integral(Var{t.var})) return false;
+    if (std::abs(t.coef - std::round(t.coef)) > 1e-12) return false;
+  }
+  return true;
+}
+
+/// Strict lexicographic order on assignments: the canonical tie-break that
+/// keeps which of two equal-cost incumbents survives independent of the
+/// (possibly parallel, nondeterministic) order in which they were found.
+bool lex_less(const std::vector<double>& a, const std::vector<double>& b) {
+  for (std::size_t j = 0; j < a.size() && j < b.size(); ++j) {
+    if (a[j] != b[j]) return a[j] < b[j];
+  }
+  return false;
+}
+
+/// Search state shared by every worker (and used single-threaded by the
+/// serial path — the atomics are uncontended there).
+struct SearchShared {
+  const Model& model;
+  const BranchAndBoundOptions& opt;
+  lp::PresolveResult pre;
+  std::vector<int> integral;
+  bool objective_integral = false;
+  /// Column boxes of the reduced problem before any branching — the state a
+  /// worker restores to when it abandons one subtree for a stolen node.
+  std::vector<std::pair<double, double>> root_bounds;
+  Stopwatch watch;
+  std::chrono::steady_clock::time_point deadline{};
+
+  std::atomic<long> nodes{0};
+  /// First limit/failure wins: -1 while running, else the IlpStatus that
+  /// aborted the search. A worker hitting kTimeLimit mid-dive publishes it
+  /// here with compare-exchange, so another worker later finishing its own
+  /// subtree cleanly cannot overwrite the status back to "optimal".
+  std::atomic<int> abort_status{-1};
+
+  std::atomic<bool> have_incumbent{false};
+  /// Published incumbent objective for pruning; reads on the hot path are
+  /// memory_order_relaxed (a stale value only delays pruning, never breaks
+  /// correctness).
+  std::atomic<double> best_obj{kInfObj};
+  std::mutex incumbent_mutex;
+  std::vector<double> incumbent;  // guarded by incumbent_mutex
+  double incumbent_obj = 0.0;     // guarded by incumbent_mutex
+
+  SearchShared(const Model& m, const BranchAndBoundOptions& o)
+      : model(m), opt(o), pre(make_presolve(m, o)) {
+    for (int j = 0; j < m.num_variables(); ++j) {
+      if (m.is_integral(Var{j})) integral.push_back(j);
+    }
+    objective_integral = detect_integral_objective(m);
+    root_bounds.reserve(static_cast<std::size_t>(pre.reduced.num_variables()));
+    for (int j = 0; j < pre.reduced.num_variables(); ++j) {
+      root_bounds.emplace_back(pre.reduced.col_lo(j), pre.reduced.col_up(j));
+    }
   }
 
-  IlpResult run() {
-    watch_.start();
-    // The LP engine honours the same wall-clock budget as the tree search,
-    // so a node relaxation that overruns the limit aborts within a few dozen
-    // pivots instead of running to completion first.
-    engine_.set_deadline(std::chrono::steady_clock::now() +
-                         std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double>(
-                                 opt_.time_limit_seconds)));
-    IlpResult out;
-
-    // Presolve can prove infeasibility outright (conflicting bounds, an
-    // integral column fixed at a fractional value, an unsatisfiable row).
-    if (!pre_.infeasible) dive();
-
-    out.nodes_explored = nodes_;
-    out.lp_pivots = lp_pivots_;
-    out.lp_scratch_solves = engine_.stats().scratch_solves;
-    out.lp_dual_reopts = engine_.stats().dual_reopts;
-    out.lp_dual_fallbacks = engine_.stats().dual_fallbacks;
-    out.lp_dual_limit = engine_.stats().dual_limit;
-    out.lp_dual_numeric = engine_.stats().dual_numeric;
-    out.lp_restore_fallbacks = engine_.stats().restore_fallbacks;
-    out.lp_factorizations = engine_.stats().factorizations;
-    out.lp_eta_updates = engine_.stats().eta_updates;
-    out.lp_refactor_eta = engine_.stats().refactor_eta;
-    out.lp_refactor_drift = engine_.stats().refactor_drift;
-    out.lp_max_eta_len = engine_.stats().max_eta_len;
-    out.presolve_fixed_variables = pre_.stats.fixed_variables;
-    out.presolve_rows_removed = pre_.stats.rows_removed();
-    out.presolve_bound_tightenings = pre_.stats.bound_tightenings;
-    out.solve_seconds = watch_.elapsed_seconds();
-    if (have_incumbent_) {
-      // A limit may have stopped the proof of optimality, but an incumbent
-      // still exists; report it together with the limit status.
-      out.status = aborted_ ? abort_status_ : IlpStatus::kOptimal;
-      out.objective = incumbent_obj_ + model_.objective_constant();
-      out.x = incumbent_;
-    } else {
-      out.status = aborted_ ? abort_status_ : IlpStatus::kInfeasible;
-    }
-    return out;
-  }
-
- private:
-  /// Lower the model to an LP and presolve it (or wrap it in an identity
-  /// reduction when presolve is off). Branching and incumbent checks all
-  /// happen in the model's variable space via pre_.postsolve()/var_map.
-  static lp::PresolveResult make_presolve(const Model& model,
-                                          const BranchAndBoundOptions& opt) {
-    lp::Problem full = model.to_lp();
-    if (!opt.presolve) {
-      lp::PresolveResult identity;
-      identity.var_map.resize(
-          static_cast<std::size_t>(model.num_variables()));
-      for (int j = 0; j < model.num_variables(); ++j) {
-        identity.var_map[static_cast<std::size_t>(j)] = j;
-      }
-      identity.fixed_value.assign(
-          static_cast<std::size_t>(model.num_variables()), 0.0);
-      identity.reduced = std::move(full);
-      return identity;
-    }
-    std::vector<bool> integer_cols(
-        static_cast<std::size_t>(full.num_variables()), false);
-    for (int j = 0; j < model.num_variables(); ++j) {
-      if (model.is_integral(Var{j})) {
-        integer_cols[static_cast<std::size_t>(j)] = true;
-      }
-    }
-    return lp::presolve(full, integer_cols);
+  [[nodiscard]] bool aborted() const {
+    return abort_status.load(std::memory_order_relaxed) >= 0;
   }
 
   void abort_with(IlpStatus status) {
-    aborted_ = true;
-    abort_status_ = status;
+    int expected = -1;
+    abort_status.compare_exchange_strong(expected, static_cast<int>(status),
+                                         std::memory_order_relaxed);
   }
 
-  /// Recursive DFS node. Bound changes are applied/undone around recursion.
-  void dive() {
-    if (aborted_) return;
-    if (nodes_ >= opt_.max_nodes) {
-      abort_with(IlpStatus::kNodeLimit);
+  /// Prune nodes whose LP bound cannot beat the incumbent. With an
+  /// all-integer objective the next-better value is at least 1 lower.
+  [[nodiscard]] double prune_threshold() const {
+    if (!have_incumbent.load(std::memory_order_relaxed)) return kInfObj;
+    const double best = best_obj.load(std::memory_order_relaxed);
+    if (objective_integral) return best - 1.0 + 1e-6;
+    return best - 1e-9;
+  }
+
+  /// Round the integral variables of a relaxation point and accept it as
+  /// the incumbent iff it satisfies the model and either strictly improves
+  /// or ties the objective with a lexicographically smaller assignment.
+  bool try_accept_incumbent(std::vector<double> x) {
+    for (int j : integral) {
+      x[static_cast<std::size_t>(j)] =
+          std::round(x[static_cast<std::size_t>(j)]);
+    }
+    const double obj =
+        model.eval_objective(x) - model.objective_constant();
+    double published = best_obj.load(std::memory_order_acquire);
+    if (obj > published + kImproveTol) return false;  // strictly worse
+    if (!model.is_feasible(x, kFeasTol)) return false;
+    // Claim a strict improvement on the atomic bound before taking the
+    // mutex, so concurrent workers prune against the new value immediately.
+    while (obj < published - kImproveTol &&
+           !best_obj.compare_exchange_weak(published, obj,
+                                           std::memory_order_acq_rel)) {
+    }
+    const std::lock_guard<std::mutex> lock(incumbent_mutex);
+    const bool have = have_incumbent.load(std::memory_order_relaxed);
+    const bool improves = !have || obj < incumbent_obj - kImproveTol;
+    const bool ties_smaller = have && obj <= incumbent_obj + kImproveTol &&
+                              lex_less(x, incumbent);
+    if (!improves && !ties_smaller) return false;
+    incumbent = std::move(x);
+    incumbent_obj = obj;
+    have_incumbent.store(true, std::memory_order_release);
+    // Keep the published pruning bound at the minimum accepted objective
+    // (a tie acceptance does not move it).
+    double bound = best_obj.load(std::memory_order_relaxed);
+    while (obj < bound && !best_obj.compare_exchange_weak(
+                              bound, obj, std::memory_order_acq_rel)) {
+    }
+    return true;
+  }
+};
+
+/// One branching decision: column `col` of the reduced problem narrowed to
+/// [lo, up]. A node is identified by the list of changes from the root.
+struct BoundChange {
+  int col;
+  double lo;
+  double up;
+};
+
+/// A donated (stealable) subtree root.
+struct PoolNode {
+  /// Safe objective lower bound inherited from the parent relaxation
+  /// (already offset-corrected and perturbation-slack-adjusted).
+  double bound = -kInfObj;
+  long seq = 0;   // push order: heap tie-break / LIFO key
+  int owner = -1; // donating worker, -1 for the root node
+  int depth = 0;
+  std::vector<BoundChange> path;  // bound changes from the root, in order
+};
+
+/// The shared lock-guarded global node pool. Best-first (lowest inherited
+/// bound pops first) in normal operation; a serialized LIFO in
+/// deterministic mode, which — together with children being donated in
+/// reverse preference order — reproduces the serial DFS preorder exactly.
+class NodePool {
+ public:
+  NodePool(bool deterministic, int hunger)
+      : lifo_(deterministic), hunger_(hunger) {}
+
+  void push(PoolNode node) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      node.seq = next_seq_++;
+      nodes_.push_back(std::move(node));
+      if (!lifo_) std::push_heap(nodes_.begin(), nodes_.end(), WorseBound{});
+      ++outstanding_;
+      approx_size_.store(static_cast<int>(nodes_.size()),
+                         std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+  }
+
+  /// Pop the next node, blocking until one is available, the whole tree has
+  /// been drained, or the search aborted (the latter two return nullopt).
+  /// Best-first mode re-checks the node's inherited bound against the
+  /// freshest incumbent *under the lock* and discards prunable nodes here
+  /// (counted in `pruned`); deterministic mode expands every node so its
+  /// statistics stay bit-identical to the serial search, and additionally
+  /// admits only one expansion at a time.
+  std::optional<PoolNode> pop(const SearchShared& shared, long& pruned) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return shared.aborted() || outstanding_ == 0 ||
+               (!nodes_.empty() && (!lifo_ || active_ == 0));
+      });
+      if (shared.aborted() || outstanding_ == 0) return std::nullopt;
+      if (nodes_.empty() || (lifo_ && active_ > 0)) continue;
+      PoolNode node = take();
+      if (!lifo_ && node.bound >= shared.prune_threshold()) {
+        ++pruned;
+        if (--outstanding_ == 0) cv_.notify_all();
+        continue;
+      }
+      ++active_;
+      return node;
+    }
+  }
+
+  /// The dive rooted at the last popped node has fully finished.
+  void finish() {
+    bool wake;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      --outstanding_;
+      wake = outstanding_ == 0 || (lifo_ && !nodes_.empty());
+    }
+    if (wake) cv_.notify_all();
+  }
+
+  /// Wake every blocked worker (used after an abort).
+  void kick() {
+    { const std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+
+  /// Cheap relaxed signal for the donation policy: true while the pool has
+  /// fewer ready nodes than the hunger watermark.
+  [[nodiscard]] bool hungry() const {
+    return approx_size_.load(std::memory_order_relaxed) < hunger_;
+  }
+
+ private:
+  /// Max-heap comparator under which the "largest" element is the node
+  /// with the smallest inherited bound (oldest first on ties).
+  struct WorseBound {
+    bool operator()(const PoolNode& a, const PoolNode& b) const {
+      if (a.bound != b.bound) return a.bound > b.bound;
+      return a.seq > b.seq;
+    }
+  };
+
+  PoolNode take() {
+    if (!lifo_) std::pop_heap(nodes_.begin(), nodes_.end(), WorseBound{});
+    PoolNode node = std::move(nodes_.back());
+    nodes_.pop_back();
+    approx_size_.store(static_cast<int>(nodes_.size()),
+                       std::memory_order_relaxed);
+    return node;
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<PoolNode> nodes_;  // heap (best-first) or stack (LIFO)
+  long outstanding_ = 0;         // queued nodes + dives in flight
+  int active_ = 0;               // dives in flight (gates LIFO mode)
+  long next_seq_ = 0;
+  const bool lifo_;
+  const int hunger_;
+  std::atomic<int> approx_size_{0};
+};
+
+/// A simplex engine plus the branching path currently imposed on it. Owned
+/// by one worker — except in deterministic mode, where all workers take
+/// turns on a single slot (handoff is ordered by the pool mutex, and the
+/// pool admits only one expansion at a time).
+struct EngineSlot {
+  lp::SimplexEngine engine;
+  std::vector<BoundChange> applied;
+  bool used = false;  // first solve goes from scratch, as in the serial path
+
+  EngineSlot(const lp::Problem& problem, const lp::SimplexOptions& options)
+      : engine(problem, options) {}
+};
+
+class Worker {
+ public:
+  Worker(SearchShared& shared, NodePool* pool, EngineSlot& slot, int id)
+      : sh_(shared), pool_(pool), slot_(slot), id_(id) {}
+
+  /// Parallel worker loop: steal nodes from the pool until the tree is
+  /// drained or the search aborts.
+  void run_pool() {
+    for (;;) {
+      std::optional<PoolNode> node = pool_->pop(sh_, pruned_);
+      if (!node) return;
+      if (node->owner >= 0 && node->owner != id_) ++steals_;
+      dive_from(*node);
+      pool_->finish();
+      if (sh_.aborted()) pool_->kick();
+    }
+  }
+
+  /// Serial entry point: dive straight from the root, no pool.
+  void run_root() {
+    PoolNode root;
+    dive_from(root);
+  }
+
+  [[nodiscard]] long nodes() const { return nodes_; }
+  [[nodiscard]] long pruned() const { return pruned_; }
+  [[nodiscard]] long steals() const { return steals_; }
+  [[nodiscard]] long lp_pivots() const { return lp_pivots_; }
+
+ private:
+  /// Move the engine from the previous dive's box to `node`'s: restore
+  /// every column the old path touched to its root bounds, then impose the
+  /// new path in order.
+  void dive_from(PoolNode& node) {
+    for (const BoundChange& c : slot_.applied) {
+      const auto& [lo, up] = sh_.root_bounds[static_cast<std::size_t>(c.col)];
+      slot_.engine.set_variable_bounds(c.col, lo, up);
+    }
+    slot_.applied = std::move(node.path);
+    for (const BoundChange& c : slot_.applied) {
+      slot_.engine.set_variable_bounds(c.col, c.lo, c.up);
+    }
+    recurse(node.depth);
+  }
+
+  /// One node: solve the relaxation, prune or branch. Bound changes are
+  /// applied/undone around the local recursion; the non-preferred child is
+  /// donated to the pool instead whenever the pool runs hungry.
+  void recurse(int depth) {
+    if (sh_.aborted()) return;
+    if (sh_.nodes.fetch_add(1, std::memory_order_relaxed) >=
+        sh_.opt.max_nodes) {
+      sh_.nodes.fetch_sub(1, std::memory_order_relaxed);
+      sh_.abort_with(IlpStatus::kNodeLimit);
       return;
     }
-    if (watch_.elapsed_seconds() > opt_.time_limit_seconds) {
-      abort_with(IlpStatus::kTimeLimit);
+    if (sh_.watch.elapsed_seconds() > sh_.opt.time_limit_seconds) {
+      sh_.abort_with(IlpStatus::kTimeLimit);
       return;
     }
     ++nodes_;
 
-    // Warm start: the parent's optimal basis stays dual feasible after the
-    // branching bound change, so this is a short dual-simplex run (with an
-    // automatic scratch-solve fallback inside the engine).
+    // Warm start: the previous optimal basis stays dual feasible after any
+    // variable-bound change, so this is a short dual-simplex run (with an
+    // automatic scratch-solve fallback inside the engine). The first solve
+    // on an engine has no basis and goes from scratch.
+    lp::SimplexEngine& engine = slot_.engine;
     const lp::Solution rel =
-        nodes_ == 1 ? engine_.solve_from_scratch() : engine_.reoptimize();
+        slot_.used ? engine.reoptimize() : engine.solve_from_scratch();
+    slot_.used = true;
     lp_pivots_ += rel.iterations;
 
     if (rel.status == lp::SolveStatus::kInfeasible) return;
     if (rel.status == lp::SolveStatus::kTimeLimit) {
-      abort_with(IlpStatus::kTimeLimit);
+      sh_.abort_with(IlpStatus::kTimeLimit);
       return;
     }
     if (rel.status != lp::SolveStatus::kOptimal) {
       // Unbounded relaxations cannot occur on our bounded models; iteration
       // limits and numeric failures abort the search conservatively.
-      abort_with(IlpStatus::kNumericFailure);
+      sh_.abort_with(IlpStatus::kNumericFailure);
       return;
     }
 
@@ -162,135 +461,196 @@ class Search {
     // bound by at most bound_slack(); subtract it so pruning stays safe.
     // rel.objective lives in reduced space: add the presolve offset to
     // compare against the incumbent.
-    if (have_incumbent_ &&
-        rel.objective + pre_.objective_offset - engine_.bound_slack() >=
-            prune_threshold()) {
+    const double bound =
+        rel.objective + sh_.pre.objective_offset - engine.bound_slack();
+    if (bound >= sh_.prune_threshold()) {
+      ++pruned_;
       return;
     }
 
     // Branching and incumbent tests use the model's variable space.
-    const std::vector<double> full_x = pre_.postsolve(rel.x);
-    const int frac = pick_branch_variable(full_x);
+    const std::vector<double> full_x = sh_.pre.postsolve(rel.x);
+    const int frac = pick_branch_variable(sh_.model, sh_.integral,
+                                          sh_.opt.int_tol, full_x);
     if (frac < 0) {
       // Integral solution: snap and record.
-      try_accept_incumbent(full_x);
+      sh_.try_accept_incumbent(full_x);
       return;
     }
 
-    if (nodes_ == 1 && opt_.root_rounding_heuristic) {
-      try_accept_incumbent(full_x);
+    if (depth == 0 && sh_.opt.root_rounding_heuristic) {
+      sh_.try_accept_incumbent(full_x);
     }
 
     // Presolve never fixes a column at a fractional value (it would have
     // declared infeasibility), so a fractional variable maps to a live
     // reduced column.
-    const int rj = pre_.var_map[static_cast<std::size_t>(frac)];
+    const int rj = sh_.pre.var_map[static_cast<std::size_t>(frac)];
     ARCHEX_ASSERT(rj >= 0, "fractional variable was presolved away");
     const double value = full_x[static_cast<std::size_t>(frac)];
-    const double saved_lo = engine_.col_lo(rj);
-    const double saved_up = engine_.col_up(rj);
+    const double saved_lo = engine.col_lo(rj);
+    const double saved_up = engine.col_up(rj);
     const double floor_v = std::floor(value);
     const double ceil_v = floor_v + 1.0;
 
     // Explore the rounding direction first.
     const bool down_first = (value - floor_v) <= 0.5;
+
+    if (pool_ != nullptr && sh_.opt.deterministic) {
+      // Donate both children, non-preferred first: the LIFO pool pops the
+      // preferred child next, reproducing the serial DFS preorder.
+      for (int side = 1; side >= 0; --side) {
+        const bool down = (side == 0) == down_first;
+        if (down && floor_v < saved_lo) continue;
+        if (!down && ceil_v > saved_up) continue;
+        donate(bound, depth,
+               down ? BoundChange{rj, saved_lo, floor_v}
+                    : BoundChange{rj, ceil_v, saved_up});
+      }
+      return;
+    }
+
     for (int side = 0; side < 2; ++side) {
       const bool down = (side == 0) == down_first;
-      if (down) {
-        if (floor_v < saved_lo) continue;
-        engine_.set_variable_bounds(rj, saved_lo, floor_v);
-      } else {
-        if (ceil_v > saved_up) continue;
-        engine_.set_variable_bounds(rj, ceil_v, saved_up);
+      if (down && floor_v < saved_lo) continue;
+      if (!down && ceil_v > saved_up) continue;
+      const BoundChange change = down ? BoundChange{rj, saved_lo, floor_v}
+                                      : BoundChange{rj, ceil_v, saved_up};
+      if (side == 1 && pool_ != nullptr && pool_->hungry()) {
+        // Donate the non-preferred child for stealing; keep diving locally
+        // on the preferred side so warm starts stay intact.
+        donate(bound, depth, change);
+        continue;
       }
-      dive();
-      engine_.set_variable_bounds(rj, saved_lo, saved_up);
-      if (aborted_) return;
+      engine.set_variable_bounds(change.col, change.lo, change.up);
+      slot_.applied.push_back(change);
+      recurse(depth + 1);
+      slot_.applied.pop_back();
+      engine.set_variable_bounds(rj, saved_lo, saved_up);
+      if (sh_.aborted()) return;
     }
   }
 
-  /// Fractional integral variable of the highest branching priority (most
-  /// fractional within the class), or -1 when integral within tolerance.
-  int pick_branch_variable(const std::vector<double>& x) const {
-    int best = -1;
-    int best_priority = std::numeric_limits<int>::min();
-    double best_score = 0.0;
-    for (int j : integral_) {
-      const double v = x[static_cast<std::size_t>(j)];
-      const double score = std::min(v - std::floor(v), std::ceil(v) - v);
-      if (score <= opt_.int_tol) continue;
-      const int priority = model_.branch_priority(Var{j});
-      if (priority > best_priority ||
-          (priority == best_priority && score > best_score)) {
-        best_priority = priority;
-        best_score = score;
-        best = j;
-      }
-    }
-    return best;
+  void donate(double bound, int depth, const BoundChange& change) {
+    PoolNode child;
+    child.bound = bound;
+    child.owner = id_;
+    child.depth = depth + 1;
+    child.path = slot_.applied;
+    child.path.push_back(change);
+    pool_->push(std::move(child));
   }
 
-  // One acceptance rule for every incumbent candidate — the integral-leaf
-  // path and the root rounding heuristic used to apply different feasibility
-  // and improvement tolerances, so which of two equal-cost incumbents
-  // survived depended on where it was found.
-  static constexpr double kFeasTol = 1e-5;
-  static constexpr double kImproveTol = 1e-9;
+  SearchShared& sh_;
+  NodePool* pool_;  // null for the serial path (never donate)
+  EngineSlot& slot_;
+  const int id_;
 
-  /// Round the integral variables of a relaxation point and accept it as the
-  /// incumbent iff it strictly improves and satisfies the model.
-  bool try_accept_incumbent(std::vector<double> x) {
-    for (int j : integral_) {
-      x[static_cast<std::size_t>(j)] =
-          std::round(x[static_cast<std::size_t>(j)]);
-    }
-    const double obj = model_.eval_objective(x) - model_.objective_constant();
-    if (have_incumbent_ && obj >= incumbent_obj_ - kImproveTol) return false;
-    if (!model_.is_feasible(x, kFeasTol)) return false;
-    incumbent_ = std::move(x);
-    incumbent_obj_ = obj;
-    have_incumbent_ = true;
-    return true;
-  }
-
-  /// Prune nodes whose LP bound cannot beat the incumbent. With an
-  /// all-integer objective the next-better value is at least 1 lower.
-  double prune_threshold() const {
-    if (objective_integral_) return incumbent_obj_ - 1.0 + 1e-6;
-    return incumbent_obj_ - 1e-9;
-  }
-
-  bool detect_integral_objective() const {
-    for (const lp::Term& t : model_.objective().terms()) {
-      if (!model_.is_integral(Var{t.var})) return false;
-      if (std::abs(t.coef - std::round(t.coef)) > 1e-12) return false;
-    }
-    return true;
-  }
-
-  const Model& model_;
-  BranchAndBoundOptions opt_;
-  lp::PresolveResult pre_;
-  lp::SimplexEngine engine_;
-  std::vector<int> integral_;
-  bool objective_integral_ = false;
-
-  std::vector<double> incumbent_;
-  double incumbent_obj_ = 0.0;
-  bool have_incumbent_ = false;
-
-  bool aborted_ = false;
-  IlpStatus abort_status_ = IlpStatus::kNumericFailure;
   long nodes_ = 0;
+  long pruned_ = 0;
+  long steals_ = 0;
   long lp_pivots_ = 0;
-  Stopwatch watch_;
 };
+
+IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
+  SearchShared shared(model, opt);
+  shared.watch.start();
+  // The LP engines honour the same wall-clock budget as the tree search,
+  // so a node relaxation that overruns the limit aborts within a few dozen
+  // pivots instead of running to completion first.
+  shared.deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt.time_limit_seconds));
+
+  const int threads = std::max(opt.threads, 1);
+  const bool parallel = threads >= 2;
+
+  std::vector<std::unique_ptr<EngineSlot>> slots;
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  // Presolve can prove infeasibility outright (conflicting bounds, an
+  // integral column fixed at a fractional value, an unsatisfiable row).
+  if (!shared.pre.infeasible) {
+    if (!parallel) {
+      slots.push_back(
+          std::make_unique<EngineSlot>(shared.pre.reduced, opt.lp));
+      slots[0]->engine.set_deadline(shared.deadline);
+      workers.push_back(std::make_unique<Worker>(shared, nullptr, *slots[0],
+                                                 /*id=*/0));
+      workers[0]->run_root();
+    } else {
+      NodePool pool(opt.deterministic, /*hunger=*/2 * threads);
+      const int num_slots = opt.deterministic ? 1 : threads;
+      for (int s = 0; s < num_slots; ++s) {
+        slots.push_back(
+            std::make_unique<EngineSlot>(shared.pre.reduced, opt.lp));
+        slots.back()->engine.set_deadline(shared.deadline);
+      }
+      for (int w = 0; w < threads; ++w) {
+        workers.push_back(std::make_unique<Worker>(
+            shared, &pool, *slots[opt.deterministic ? 0 : static_cast<std::size_t>(w)],
+            w));
+      }
+      pool.push(PoolNode{});  // the root: empty path, unbounded inherited bound
+      support::ThreadPool tp(threads);
+      tp.run_workers(threads, [&](int w) {
+        workers[static_cast<std::size_t>(w)]->run_pool();
+      });
+    }
+  }
+
+  IlpResult out;
+  out.threads_used = parallel ? threads : 1;
+  out.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
+  for (const auto& worker : workers) {
+    out.nodes_pruned += worker->pruned();
+    out.steal_count += worker->steals();
+    out.lp_pivots += worker->lp_pivots();
+    out.worker_nodes.push_back(worker->nodes());
+    out.worker_lp_iterations.push_back(worker->lp_pivots());
+  }
+  for (const auto& slot : slots) {
+    const lp::SimplexEngine::Stats& stats = slot->engine.stats();
+    out.lp_scratch_solves += stats.scratch_solves;
+    out.lp_dual_reopts += stats.dual_reopts;
+    out.lp_dual_fallbacks += stats.dual_fallbacks;
+    out.lp_dual_limit += stats.dual_limit;
+    out.lp_dual_numeric += stats.dual_numeric;
+    out.lp_restore_fallbacks += stats.restore_fallbacks;
+    out.lp_factorizations += stats.factorizations;
+    out.lp_eta_updates += stats.eta_updates;
+    out.lp_refactor_eta += stats.refactor_eta;
+    out.lp_refactor_drift += stats.refactor_drift;
+    out.lp_max_eta_len = std::max(out.lp_max_eta_len, stats.max_eta_len);
+  }
+  out.presolve_fixed_variables = shared.pre.stats.fixed_variables;
+  out.presolve_rows_removed = shared.pre.stats.rows_removed();
+  out.presolve_bound_tightenings = shared.pre.stats.bound_tightenings;
+  out.solve_seconds = shared.watch.elapsed_seconds();
+
+  const int abort_status =
+      shared.abort_status.load(std::memory_order_relaxed);
+  const bool aborted = abort_status >= 0;
+  if (shared.have_incumbent.load(std::memory_order_acquire)) {
+    // A limit may have stopped the proof of optimality, but an incumbent
+    // still exists; report it together with the limit status.
+    const std::lock_guard<std::mutex> lock(shared.incumbent_mutex);
+    out.status =
+        aborted ? static_cast<IlpStatus>(abort_status) : IlpStatus::kOptimal;
+    out.objective = shared.incumbent_obj + model.objective_constant();
+    out.x = shared.incumbent;
+  } else {
+    out.status = aborted ? static_cast<IlpStatus>(abort_status)
+                         : IlpStatus::kInfeasible;
+  }
+  return out;
+}
 
 }  // namespace
 
 IlpResult BranchAndBoundSolver::solve(const Model& model) {
-  Search search(model, options_);
-  return search.run();
+  return run_search(model, options_);
 }
 
 }  // namespace archex::ilp

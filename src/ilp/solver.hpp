@@ -39,6 +39,14 @@ struct IlpResult {
 
   // Search statistics.
   long nodes_explored = 0;
+  /// Nodes discarded by bound-based pruning (LP bound could not beat the
+  /// incumbent), including pool nodes pruned at steal time.
+  long nodes_pruned = 0;
+  /// Parallel search only: pool nodes expanded by a worker other than the
+  /// one that donated them (0 for serial solves).
+  long steal_count = 0;
+  /// Worker count the search actually ran with (1 for serial solves).
+  int threads_used = 1;
   long lp_pivots = 0;
   long lp_scratch_solves = 0;   // LPs solved from scratch (cold)
   long lp_dual_reopts = 0;      // LPs warm-started via dual simplex
@@ -61,6 +69,12 @@ struct IlpResult {
   long presolve_bound_tightenings = 0;
 
   double solve_seconds = 0.0;
+
+  // Per-worker breakdown (size == threads_used; single entry for serial
+  // solves). Used by the benches to report parallel efficiency: a skewed
+  // lp-iteration histogram means the node pool starved some workers.
+  std::vector<long> worker_nodes;
+  std::vector<long> worker_lp_iterations;
 
   [[nodiscard]] bool optimal() const { return status == IlpStatus::kOptimal; }
   [[nodiscard]] bool value_bool(Var v) const {
@@ -86,6 +100,20 @@ class IlpSolver {
 struct BranchAndBoundOptions {
   long max_nodes = 2'000'000;
   double time_limit_seconds = 600.0;
+  /// Worker threads exploring the tree. 0 (and 1) selects the serial
+  /// depth-first search, preserving the historical node order and
+  /// determinism exactly. With >= 2 the search runs a best-first/DFS
+  /// hybrid: a lock-guarded global pool ordered by relaxation bound feeds
+  /// workers that dive depth-first with their own simplex engines, donating
+  /// the non-preferred branch child whenever the pool runs low (see
+  /// DESIGN.md §4e).
+  int threads = 0;
+  /// Debugging aid for the parallel search: expand nodes strictly in the
+  /// serial DFS preorder through one shared engine (workers take turns), so
+  /// a threads >= 2 run reproduces the serial node ordering, incumbent
+  /// sequence, statistics and solution bit-for-bit — at the price of no
+  /// parallel speedup. Ignored when threads <= 1.
+  bool deterministic = false;
   /// Integrality tolerance on the LP relaxation values.
   double int_tol = 1e-6;
   /// Attempt a rounding heuristic at the root to seed the incumbent.

@@ -53,6 +53,36 @@ bool ThreadPool::run_one() {
   return true;
 }
 
+void ThreadPool::run_workers(int count, const std::function<void(int)>& body) {
+  if (count <= 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (int w = 0; w < count; ++w) body(w);
+    return;
+  }
+
+  std::vector<std::future<void>> joins;
+  joins.reserve(static_cast<std::size_t>(count - 1));
+  for (int w = 1; w < count; ++w) {
+    joins.push_back(submit([&body, w] { body(w); }));
+  }
+  // Join everything before rethrowing: a body may reference caller locals,
+  // so no body can be left running once run_workers returns.
+  std::exception_ptr first_error;
+  try {
+    body(0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& join : joins) {
+    try {
+      wait(join);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (end <= begin) return;

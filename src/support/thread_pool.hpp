@@ -13,10 +13,14 @@
 //    Future::get()-style joins keeps draining the shared queue, so a task
 //    that itself fans out cannot deadlock the pool.
 //
-// There is deliberately no work stealing and no per-thread deque: the hot
-// paths submit a handful of coarse tasks (factoring subtrees, Monte-Carlo
-// shards), for which a single mutex-protected queue is both simpler and
-// cheaper than a stealing scheduler.
+// There is deliberately no work stealing and no per-thread deque *in the
+// pool itself*: the hot paths submit a handful of coarse tasks (factoring
+// subtrees, Monte-Carlo shards, branch-and-bound worker loops), for which a
+// single mutex-protected queue is both simpler and cheaper than a stealing
+// scheduler. Schedulers that do steal — the parallel branch & bound's
+// global node pool (src/ilp/branch_and_bound.cpp) — are built one layer
+// above, on run_workers(), where the stealing policy can be domain-aware
+// (bound-ordered nodes, incumbent-based pruning at steal time).
 #pragma once
 
 #include <condition_variable>
@@ -75,6 +79,18 @@ class ThreadPool {
   /// The first exception thrown by any iteration is rethrown to the caller.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
+
+  /// Run `body(w)` once for each worker id w in [0, count), all eligible to
+  /// execute concurrently, with the caller running body(0) inline. Unlike
+  /// parallel_for's dynamic iteration claiming, this is a *static* launch of
+  /// long-running collaborators (e.g. branch-and-bound workers that share a
+  /// node pool): every body gets a stable id for per-worker scratch state.
+  /// All bodies are joined before returning, even on error; the first
+  /// exception thrown by any body is rethrown afterwards. Bodies may
+  /// cooperate through shared state but must not *require* more than one of
+  /// them to be running at once (count may exceed num_threads(), in which
+  /// case excess bodies start as earlier ones finish).
+  void run_workers(int count, const std::function<void(int)>& body);
 
   /// Block until `future` is ready, helping with queued pool work while
   /// waiting (nest-safe join).

@@ -88,6 +88,41 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 8 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
 }
 
+TEST(ThreadPool, RunWorkersGivesEveryBodyAStableId) {
+  for (int pool_size : {1, 4}) {
+    for (int count : {1, 3, 6}) {
+      ThreadPool pool(pool_size);
+      std::vector<std::atomic<int>> started(
+          static_cast<std::size_t>(count));
+      pool.run_workers(count, [&](int w) {
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, count);
+        ++started[static_cast<std::size_t>(w)];
+      });
+      for (int w = 0; w < count; ++w) {
+        EXPECT_EQ(started[static_cast<std::size_t>(w)].load(), 1)
+            << "worker " << w << " pool=" << pool_size;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, RunWorkersJoinsAllBodiesBeforeRethrowing) {
+  // Bodies reference this local; a body left running past the rethrow
+  // would race its destruction (tsan would flag it).
+  ThreadPool pool(4);
+  std::atomic<int> finished{0};
+  EXPECT_THROW(pool.run_workers(4,
+                                [&](int w) {
+                                  if (w == 0) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  ++finished;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(finished.load(), 3);
+}
+
 TEST(ThreadPool, ManySmallTasksViaSubmit) {
   ThreadPool pool(3);
   std::vector<std::future<int>> futures;
