@@ -54,6 +54,9 @@ struct Args {
   bool cuts = false;
   double time_limit = 300.0;
   int threads = 0;  // 0 = serial branch & bound
+  /// Disable the solver's cut-and-branch layer (cutting planes, pseudocost
+  /// branching, reduced-cost fixing) for A/B comparisons.
+  bool plain_bnb = false;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -62,7 +65,7 @@ struct Args {
       "usage:\n"
       "  archex_cli synth   (--eps N | --template F) --target R\n"
       "                     [--algorithm mr|ar] [--lazy] [--time-limit S]\n"
-      "                     [--threads N]\n"
+      "                     [--threads N] [--plain-bnb]\n"
       "                     [--accept-incumbent] [--dot F] [--save F] "
       "[--mps F]\n"
       "  archex_cli analyze (--eps N | --template F) --config F\n"
@@ -97,6 +100,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--accept-incumbent") a.accept_incumbent = true;
     else if (flag == "--importance") a.importance = true;
     else if (flag == "--cuts") a.cuts = true;
+    else if (flag == "--plain-bnb") a.plain_bnb = true;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -158,6 +162,11 @@ int cmd_synth(const Args& a) {
   ilp::BranchAndBoundOptions bopt;
   bopt.time_limit_seconds = a.time_limit;
   bopt.threads = a.threads;  // >= 2 enables the work-stealing tree search
+  if (a.plain_bnb) {
+    bopt.cuts = false;
+    bopt.pseudocost = false;
+    bopt.rc_fixing = false;
+  }
   ilp::BranchAndBoundSolver solver(bopt);
 
   std::optional<core::Configuration> config;
@@ -171,6 +180,10 @@ int cmd_synth(const Args& a) {
                 "%.2fs)\n",
                 to_string(rep.status).c_str(), rep.num_iterations(),
                 rep.analysis_seconds, rep.solver_seconds);
+    std::printf("solver: %ld nodes, %ld cuts, %ld rc-fixings, %ld pseudocost "
+                "branchings\n",
+                rep.solver_nodes, rep.solver_cuts_added, rep.solver_rc_fixings,
+                rep.solver_pseudocost_branches);
     if (rep.configuration) {
       std::printf("exact worst-sink failure: %.3e (target %.1e)\n",
                   rep.failure, a.target);
@@ -184,6 +197,10 @@ int cmd_synth(const Args& a) {
     std::printf("ILP-AR: %s (%d constraints, setup %.2fs, solver %.2fs)\n",
                 to_string(rep.status).c_str(), rep.num_constraints,
                 rep.setup_seconds, rep.solver_seconds);
+    std::printf("solver: %ld nodes, %ld cuts, %ld rc-fixings, %ld pseudocost "
+                "branchings\n",
+                rep.solver_nodes, rep.solver_cuts_added, rep.solver_rc_fixings,
+                rep.solver_pseudocost_branches);
     if (rep.configuration) {
       std::printf("algebra r~ = %.3e, exact r = %.3e (target %.1e)\n",
                   rep.approx_failure, rep.exact_failure, a.target);

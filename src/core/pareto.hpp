@@ -68,6 +68,9 @@ struct ParetoFrontier {
   // one), for the benches' parallel-efficiency reporting.
   long solver_nodes = 0;
   long solver_steals = 0;
+  long solver_cuts_added = 0;
+  long solver_rc_fixings = 0;
+  long solver_pseudocost_branches = 0;
 };
 
 /// Sweep the frontier. `make_base_ilp` must produce a fresh base ILP

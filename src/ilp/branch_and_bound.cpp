@@ -28,18 +28,33 @@
 // serial DFS preorder, which reproduces the serial run bit-for-bit (node
 // ordering, incumbent sequence, statistics, solution) for debugging
 // parallel-search discrepancies.
+//
+// The cut-and-branch layer (DESIGN.md §4f) sits on top of both modes:
+// a root separation loop (cover/clique/Gomory cuts, ilp/cutgen.hpp) tightens
+// the relaxation before the tree search; shallow tree nodes separate the
+// globally valid cover/clique families into a shared cut pool that workers
+// sync into their private engines at dive boundaries; branching is ranked by
+// shared pseudocost statistics (ilp/branching.hpp) with a most-fractional
+// fallback; and every incumbent improvement re-derives reduced-cost fixings
+// from the root duals, published as a lock-free prune filter all workers
+// consult. In deterministic mode all of this shared state evolves in the
+// serial preorder, so bit-for-bit reproduction is preserved.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "ilp/branching.hpp"
+#include "ilp/cutgen.hpp"
 #include "ilp/solver.hpp"
 #include "lp/engine.hpp"
 #include "lp/presolve.hpp"
@@ -99,28 +114,6 @@ lp::PresolveResult make_presolve(const Model& model,
   return lp::presolve(full, integer_cols);
 }
 
-/// Fractional integral variable of the highest branching priority (most
-/// fractional within the class), or -1 when integral within tolerance.
-int pick_branch_variable(const Model& model, const std::vector<int>& integral,
-                         double int_tol, const std::vector<double>& x) {
-  int best = -1;
-  int best_priority = std::numeric_limits<int>::min();
-  double best_score = 0.0;
-  for (int j : integral) {
-    const double v = x[static_cast<std::size_t>(j)];
-    const double score = std::min(v - std::floor(v), std::ceil(v) - v);
-    if (score <= int_tol) continue;
-    const int priority = model.branch_priority(Var{j});
-    if (priority > best_priority ||
-        (priority == best_priority && score > best_score)) {
-      best_priority = priority;
-      best_score = score;
-      best = j;
-    }
-  }
-  return best;
-}
-
 bool detect_integral_objective(const Model& model) {
   for (const lp::Term& t : model.objective().terms()) {
     if (!model.is_integral(Var{t.var})) return false;
@@ -138,6 +131,14 @@ bool lex_less(const std::vector<double>& a, const std::vector<double>& b) {
   }
   return false;
 }
+
+/// One branching decision: column `col` of the reduced problem narrowed to
+/// [lo, up]. A node is identified by the list of changes from the root.
+struct BoundChange {
+  int col;
+  double lo;
+  double up;
+};
 
 /// Search state shared by every worker (and used single-threaded by the
 /// serial path — the atomics are uncontended there).
@@ -169,6 +170,40 @@ struct SearchShared {
   std::vector<double> incumbent;  // guarded by incumbent_mutex
   double incumbent_obj = 0.0;     // guarded by incumbent_mutex
 
+  // Integrality flags over the *reduced* problem's columns (for the cut
+  // separator): binary = integral with root box exactly [0, 1].
+  std::vector<bool> reduced_binary;
+  std::vector<bool> reduced_integer;
+
+  std::unique_ptr<CutGenerator> cutgen;  // null when cuts are off
+  /// Guards cut_pool + cut_signatures. Root cuts live in pre.reduced (every
+  /// engine gets them at construction); the pool holds only cuts separated
+  /// at tree nodes, which workers sync into their engines at dive
+  /// boundaries (EngineSlot::cuts_synced).
+  std::mutex cut_mutex;
+  std::vector<Cut> cut_pool;
+  std::unordered_set<std::uint64_t> cut_signatures;
+  std::atomic<long> cuts_added{0};
+  std::atomic<long> cut_rounds{0};
+
+  std::unique_ptr<PseudocostTable> pseudo;  // null when pseudocost is off
+  std::mutex pseudo_mutex;
+  std::atomic<long> pseudocost_branches{0};
+
+  // Reduced-cost fixing state. After the root LP solves, capture_root_info
+  // stores the exact duality bound L = sum_j min(d_j lo_j, d_j up_j) over
+  // the engine's columns (valid because the engine's row form a'x - s = 0
+  // makes c'x = sum_j d_j x_j for *any* feasible x) plus the structural
+  // reduced costs. rc_fix publishes the fixings: -1 unfixed, else the
+  // forced 0/1 value. Hot-path reads are relaxed — a stale miss only
+  // delays pruning.
+  bool have_root_info = false;        // written before workers start
+  double root_dual_bound = -kInfObj;  // L, offset-corrected
+  std::vector<double> root_red_cost;  // per reduced structural column
+  std::unique_ptr<std::atomic<signed char>[]> rc_fix;
+  std::mutex rc_mutex;
+  std::atomic<long> rc_fixed{0};
+
   SearchShared(const Model& m, const BranchAndBoundOptions& o)
       : model(m), opt(o), pre(make_presolve(m, o)) {
     for (int j = 0; j < m.num_variables(); ++j) {
@@ -178,6 +213,25 @@ struct SearchShared {
     root_bounds.reserve(static_cast<std::size_t>(pre.reduced.num_variables()));
     for (int j = 0; j < pre.reduced.num_variables(); ++j) {
       root_bounds.emplace_back(pre.reduced.col_lo(j), pre.reduced.col_up(j));
+    }
+    const std::size_t n = static_cast<std::size_t>(pre.reduced.num_variables());
+    reduced_binary.assign(n, false);
+    reduced_integer.assign(n, false);
+    for (int j = 0; j < m.num_variables(); ++j) {
+      if (!m.is_integral(Var{j})) continue;
+      const int rj = pre.var_map[static_cast<std::size_t>(j)];
+      if (rj < 0) continue;
+      reduced_integer[static_cast<std::size_t>(rj)] = true;
+      if (pre.reduced.col_lo(rj) == 0.0 && pre.reduced.col_up(rj) == 1.0) {
+        reduced_binary[static_cast<std::size_t>(rj)] = true;
+      }
+    }
+    if (opt.cuts && !integral.empty() && !pre.infeasible) {
+      cutgen = std::make_unique<CutGenerator>(pre.reduced, reduced_binary,
+                                              reduced_integer);
+    }
+    if (opt.pseudocost) {
+      pseudo = std::make_unique<PseudocostTable>(m.num_variables());
     }
   }
 
@@ -198,6 +252,53 @@ struct SearchShared {
     const double best = best_obj.load(std::memory_order_relaxed);
     if (objective_integral) return best - 1.0 + 1e-6;
     return best - 1e-9;
+  }
+
+  /// True when a published reduced-cost fixing contradicts the branching
+  /// decision `c`: a subtree forcing a fixed 0/1 column to the opposite
+  /// value can only contain solutions the bound rule would prune anyway.
+  [[nodiscard]] bool fixing_conflict(const BoundChange& c) const {
+    if (rc_fix == nullptr) return false;
+    const signed char v =
+        rc_fix[static_cast<std::size_t>(c.col)].load(std::memory_order_relaxed);
+    if (v < 0) return false;
+    const double fixed = static_cast<double>(v);
+    return fixed < c.lo - 0.5 || fixed > c.up + 0.5;
+  }
+
+  [[nodiscard]] bool fixing_conflict(const std::vector<BoundChange>& path)
+      const {
+    if (rc_fix == nullptr) return false;
+    for (const BoundChange& c : path) {
+      if (fixing_conflict(c)) return true;
+    }
+    return false;
+  }
+
+  /// Re-derive reduced-cost fixings against the freshest prune threshold.
+  /// Root LP duality: for any feasible x, c'x = sum_j d_j x_j (true reduced
+  /// costs at the root basis; the engine's rows are a'x - s = 0, so the
+  /// dual term y'b vanishes), hence flipping a 0/1 column away from the
+  /// bound its reduced cost points at costs at least |d_j| on top of the
+  /// box minimum L. Once L + |d_j| reaches the prune threshold no solution
+  /// the search still cares about can flip column j — identical in strength
+  /// to the node bound rule, so pruning on it preserves the reported
+  /// optimum (including the tie-break semantics the bound rule implies).
+  void try_rc_fixings() {
+    if (!have_root_info || rc_fix == nullptr) return;
+    const double cutoff = prune_threshold();
+    if (cutoff == kInfObj) return;
+    for (std::size_t rj = 0; rj < root_red_cost.size(); ++rj) {
+      if (!reduced_binary[rj]) continue;
+      if (rc_fix[rj].load(std::memory_order_relaxed) >= 0) continue;
+      const double d = root_red_cost[rj];
+      if (std::abs(d) <= 1e-9) continue;
+      if (root_dual_bound + std::abs(d) < cutoff + 1e-7) continue;
+      const std::lock_guard<std::mutex> lock(rc_mutex);
+      if (rc_fix[rj].load(std::memory_order_relaxed) >= 0) continue;
+      rc_fix[rj].store(d > 0.0 ? 0 : 1, std::memory_order_relaxed);
+      rc_fixed.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Round the integral variables of a relaxation point and accept it as
@@ -234,16 +335,9 @@ struct SearchShared {
     while (obj < bound && !best_obj.compare_exchange_weak(
                               bound, obj, std::memory_order_acq_rel)) {
     }
+    try_rc_fixings();
     return true;
   }
-};
-
-/// One branching decision: column `col` of the reduced problem narrowed to
-/// [lo, up]. A node is identified by the list of changes from the root.
-struct BoundChange {
-  int col;
-  double lo;
-  double up;
 };
 
 /// A donated (stealable) subtree root.
@@ -255,6 +349,13 @@ struct PoolNode {
   int owner = -1; // donating worker, -1 for the root node
   int depth = 0;
   std::vector<BoundChange> path;  // bound changes from the root, in order
+  // Pseudocost bookkeeping: the branching that created this node (model
+  // variable, direction, fractional distance moved) and the parent's LP
+  // bound, so the stealing worker can record the observation.
+  int pc_var = -1;
+  bool pc_up = false;
+  double pc_dist = 0.0;
+  double parent_bound = -kInfObj;
 };
 
 /// The shared lock-guarded global node pool. Best-first (lowest inherited
@@ -368,6 +469,9 @@ struct EngineSlot {
   lp::SimplexEngine engine;
   std::vector<BoundChange> applied;
   bool used = false;  // first solve goes from scratch, as in the serial path
+  /// Number of shared-pool cuts already attached to this engine (the pool
+  /// is append-only, so a single cursor suffices).
+  std::size_t cuts_synced = 0;
 
   EngineSlot(const lp::Problem& problem, const lp::SimplexOptions& options)
       : engine(problem, options) {}
@@ -403,6 +507,15 @@ class Worker {
   [[nodiscard]] long lp_pivots() const { return lp_pivots_; }
 
  private:
+  /// The branching that produced the node being expanded, for pseudocost
+  /// observation (var < 0 at the root / when pseudocost is off).
+  struct BranchOrigin {
+    int var = -1;
+    bool up = false;
+    double dist = 0.0;
+    double parent_bound = -kInfObj;
+  };
+
   /// Move the engine from the previous dive's box to `node`'s: restore
   /// every column the old path touched to its root bounds, then impose the
   /// new path in order.
@@ -415,14 +528,82 @@ class Worker {
     for (const BoundChange& c : slot_.applied) {
       slot_.engine.set_variable_bounds(c.col, c.lo, c.up);
     }
-    recurse(node.depth);
+    sync_cuts();
+    const BranchOrigin origin{node.pc_var, node.pc_up, node.pc_dist,
+                              node.parent_bound};
+    recurse(node.depth, origin);
+  }
+
+  /// Attach any shared-pool cuts this engine is missing. In deterministic
+  /// mode the single shared slot is always current, so this is a no-op.
+  void sync_cuts() {
+    if (sh_.cutgen == nullptr) return;
+    const std::lock_guard<std::mutex> lock(sh_.cut_mutex);
+    attach_pool_cuts_locked();
+  }
+
+  int attach_pool_cuts_locked() {
+    int attached = 0;
+    while (slot_.cuts_synced < sh_.cut_pool.size()) {
+      const Cut& cut = sh_.cut_pool[slot_.cuts_synced++];
+      slot_.engine.add_constraint(cut.terms, cut.lo, cut.up);
+      ++attached;
+    }
+    return attached;
+  }
+
+  /// Separate cover/clique cuts at this node's reduced-space LP point,
+  /// publish fresh ones to the shared pool and attach them — plus any pool
+  /// cuts this engine is missing — to the local engine. Returns the number
+  /// of rows newly attached (pool rows included: they invalidate the basis
+  /// and may cut off the current point, so the caller re-solves on > 0).
+  int separate_node_cuts(const std::vector<double>& xr) {
+    std::vector<Cut> cand = sh_.cutgen->separate_rowwise(xr);
+    const std::lock_guard<std::mutex> lock(sh_.cut_mutex);
+    int attached = attach_pool_cuts_locked();
+    int fresh = 0;
+    for (Cut& cut : cand) {
+      if (fresh >= sh_.opt.max_cuts_per_round) break;
+      if (!sh_.cut_signatures.insert(cut_signature(cut)).second) continue;
+      slot_.engine.add_constraint(cut.terms, cut.lo, cut.up);
+      sh_.cut_pool.push_back(std::move(cut));
+      ++slot_.cuts_synced;  // our own cut is the pool's new tail
+      ++fresh;
+      ++attached;
+    }
+    if (fresh > 0) {
+      sh_.cuts_added.fetch_add(fresh, std::memory_order_relaxed);
+      sh_.cut_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    return attached;
+  }
+
+  /// Branch-variable selection at a model-space point (pseudocost table
+  /// under its mutex when enabled, historical most-fractional otherwise).
+  [[nodiscard]] BranchChoice pick(const std::vector<double>& full_x) {
+    if (sh_.pseudo != nullptr) {
+      const std::lock_guard<std::mutex> lock(sh_.pseudo_mutex);
+      return select_branch_variable(sh_.model, sh_.integral, sh_.opt.int_tol,
+                                    full_x, sh_.pseudo.get(),
+                                    sh_.opt.pseudocost_reliability);
+    }
+    return select_branch_variable(sh_.model, sh_.integral, sh_.opt.int_tol,
+                                  full_x, nullptr, 0);
   }
 
   /// One node: solve the relaxation, prune or branch. Bound changes are
   /// applied/undone around the local recursion; the non-preferred child is
   /// donated to the pool instead whenever the pool runs hungry.
-  void recurse(int depth) {
+  void recurse(int depth, const BranchOrigin& origin) {
     if (sh_.aborted()) return;
+    // Reduced-cost fixings published after this node was generated: the
+    // serial path skips such children at generation time, the pool path at
+    // expansion time. Either way the child is counted as pruned and never
+    // solved, so serial and deterministic statistics agree.
+    if (sh_.fixing_conflict(slot_.applied)) {
+      ++pruned_;
+      return;
+    }
     if (sh_.nodes.fetch_add(1, std::memory_order_relaxed) >=
         sh_.opt.max_nodes) {
       sh_.nodes.fetch_sub(1, std::memory_order_relaxed);
@@ -440,7 +621,7 @@ class Worker {
     // automatic scratch-solve fallback inside the engine). The first solve
     // on an engine has no basis and goes from scratch.
     lp::SimplexEngine& engine = slot_.engine;
-    const lp::Solution rel =
+    lp::Solution rel =
         slot_.used ? engine.reoptimize() : engine.solve_from_scratch();
     slot_.used = true;
     lp_pivots_ += rel.iterations;
@@ -461,21 +642,67 @@ class Worker {
     // bound by at most bound_slack(); subtract it so pruning stays safe.
     // rel.objective lives in reduced space: add the presolve offset to
     // compare against the incumbent.
-    const double bound =
+    double bound =
         rel.objective + sh_.pre.objective_offset - engine.bound_slack();
+
+    // Pseudocost observation: bound degradation relative to the parent per
+    // unit of fractional distance branched away. Recorded off the node's
+    // first LP (before any node cuts), so the statistic is comparable
+    // across nodes and identical in every search mode.
+    if (sh_.pseudo != nullptr && origin.var >= 0 && origin.dist > 1e-12 &&
+        origin.parent_bound > -kInfObj) {
+      const double per_unit =
+          std::max(0.0, bound - origin.parent_bound) / origin.dist;
+      const std::lock_guard<std::mutex> lock(sh_.pseudo_mutex);
+      sh_.pseudo->observe(origin.var, origin.up, per_unit);
+    }
+
     if (bound >= sh_.prune_threshold()) {
       ++pruned_;
       return;
     }
 
     // Branching and incumbent tests use the model's variable space.
-    const std::vector<double> full_x = sh_.pre.postsolve(rel.x);
-    const int frac = pick_branch_variable(sh_.model, sh_.integral,
-                                          sh_.opt.int_tol, full_x);
+    std::vector<double> full_x = sh_.pre.postsolve(rel.x);
+    BranchChoice choice = pick(full_x);
+
+    // Node separation: cover/clique cuts are globally valid, so shallow
+    // fractional nodes may tighten their relaxation (and everyone else's,
+    // through the shared pool) before branching.
+    int rounds = 0;
+    while (choice.var >= 0 && sh_.cutgen != nullptr &&
+           depth <= sh_.opt.node_cut_depth && rounds < 2 && !sh_.aborted()) {
+      if (separate_node_cuts(rel.x) == 0) break;
+      ++rounds;
+      // add_constraint invalidates the basis; re-solve from scratch.
+      rel = engine.solve_from_scratch();
+      lp_pivots_ += rel.iterations;
+      if (rel.status == lp::SolveStatus::kInfeasible) return;
+      if (rel.status == lp::SolveStatus::kTimeLimit) {
+        sh_.abort_with(IlpStatus::kTimeLimit);
+        return;
+      }
+      if (rel.status != lp::SolveStatus::kOptimal) {
+        sh_.abort_with(IlpStatus::kNumericFailure);
+        return;
+      }
+      bound = rel.objective + sh_.pre.objective_offset - engine.bound_slack();
+      if (bound >= sh_.prune_threshold()) {
+        ++pruned_;
+        return;
+      }
+      full_x = sh_.pre.postsolve(rel.x);
+      choice = pick(full_x);
+    }
+
+    const int frac = choice.var;
     if (frac < 0) {
       // Integral solution: snap and record.
       sh_.try_accept_incumbent(full_x);
       return;
+    }
+    if (choice.used_pseudocost) {
+      sh_.pseudocost_branches.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (depth == 0 && sh_.opt.root_rounding_heuristic) {
@@ -503,9 +730,10 @@ class Worker {
         const bool down = (side == 0) == down_first;
         if (down && floor_v < saved_lo) continue;
         if (!down && ceil_v > saved_up) continue;
-        donate(bound, depth,
-               down ? BoundChange{rj, saved_lo, floor_v}
-                    : BoundChange{rj, ceil_v, saved_up});
+        const BoundChange change = down ? BoundChange{rj, saved_lo, floor_v}
+                                        : BoundChange{rj, ceil_v, saved_up};
+        donate(bound, depth, change, frac, !down,
+               down ? value - floor_v : ceil_v - value);
       }
       return;
     }
@@ -516,28 +744,41 @@ class Worker {
       if (!down && ceil_v > saved_up) continue;
       const BoundChange change = down ? BoundChange{rj, saved_lo, floor_v}
                                       : BoundChange{rj, ceil_v, saved_up};
+      if (sh_.fixing_conflict(change)) {
+        ++pruned_;
+        continue;
+      }
       if (side == 1 && pool_ != nullptr && pool_->hungry()) {
         // Donate the non-preferred child for stealing; keep diving locally
         // on the preferred side so warm starts stay intact.
-        donate(bound, depth, change);
+        donate(bound, depth, change, frac, !down,
+               down ? value - floor_v : ceil_v - value);
         continue;
       }
       engine.set_variable_bounds(change.col, change.lo, change.up);
       slot_.applied.push_back(change);
-      recurse(depth + 1);
+      const BranchOrigin child_origin{frac, !down,
+                                      down ? value - floor_v : ceil_v - value,
+                                      bound};
+      recurse(depth + 1, child_origin);
       slot_.applied.pop_back();
       engine.set_variable_bounds(rj, saved_lo, saved_up);
       if (sh_.aborted()) return;
     }
   }
 
-  void donate(double bound, int depth, const BoundChange& change) {
+  void donate(double bound, int depth, const BoundChange& change, int pc_var,
+              bool pc_up, double pc_dist) {
     PoolNode child;
     child.bound = bound;
     child.owner = id_;
     child.depth = depth + 1;
     child.path = slot_.applied;
     child.path.push_back(change);
+    child.pc_var = pc_var;
+    child.pc_up = pc_up;
+    child.pc_dist = pc_dist;
+    child.parent_bound = bound;
     pool_->push(std::move(child));
   }
 
@@ -551,6 +792,108 @@ class Worker {
   long steals_ = 0;
   long lp_pivots_ = 0;
 };
+
+/// Snapshot the root LP's reduced costs for reduced-cost fixing. The box
+/// minimum L = sum_j min(d_j lo_j, d_j up_j) runs over *all* engine columns
+/// (structural and logical) at their root bounds; a nonzero reduced cost on
+/// a column with the relevant bound infinite makes L useless, so fixing is
+/// disabled then (rc_fix stays null).
+void capture_root_info(SearchShared& sh, lp::SimplexEngine& engine) {
+  if (!sh.opt.rc_fixing || sh.integral.empty()) return;
+  std::vector<double> d;
+  if (!engine.reduced_costs(d)) return;
+  double L = 0.0;
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    const double dj = d[j];
+    if (dj == 0.0) continue;
+    const double bnd = dj > 0.0 ? engine.column_lower(static_cast<int>(j))
+                                : engine.column_upper(static_cast<int>(j));
+    if (bnd == -lp::kInf || bnd == lp::kInf) return;
+    L += dj * bnd;
+  }
+  const int n = sh.pre.reduced.num_variables();
+  sh.root_dual_bound = L + sh.pre.objective_offset;
+  sh.root_red_cost.assign(d.begin(), d.begin() + n);
+  sh.rc_fix =
+      std::make_unique<std::atomic<signed char>[]>(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    sh.rc_fix[static_cast<std::size_t>(j)].store(-1, std::memory_order_relaxed);
+  }
+  sh.have_root_info = true;
+}
+
+/// Root cut phase, run single-threaded before any engine the search will
+/// keep is built. Separation rounds run against a throwaway probe engine;
+/// when the loop settles, only the cuts *binding* at the final root optimum
+/// are installed into pre.reduced (every kept row raises the root bound the
+/// probe proved — a row slack at the optimum contributes nothing to it and
+/// would only bloat every LU factorization the tree performs). Dropped
+/// cover/clique cuts leave the signature set, so node separation may
+/// rediscover them where they actually bind.
+void run_cut_phase(SearchShared& sh, long& lp_pivots) {
+  lp::SimplexEngine probe(sh.pre.reduced, sh.opt.lp);
+  probe.set_deadline(sh.deadline);
+  lp::Solution rel = probe.solve_from_scratch();
+  lp_pivots += rel.iterations;
+  // Non-optimal roots (infeasible, time limit, numerics) bail with nothing
+  // installed: the tree search re-solves and reports through its usual
+  // status handling.
+  if (rel.status != lp::SolveStatus::kOptimal) return;
+  std::vector<Cut> accepted;
+  std::unordered_set<std::uint64_t> seen;  // round-local dedup
+  long rounds = 0;
+  for (int round = 0; round < sh.opt.max_cut_rounds; ++round) {
+    if (sh.watch.elapsed_seconds() > sh.opt.time_limit_seconds) break;
+    const std::vector<double> full_x = sh.pre.postsolve(rel.x);
+    if (select_branch_variable(sh.model, sh.integral, sh.opt.int_tol, full_x,
+                               nullptr, 0)
+            .var < 0) {
+      break;  // relaxation already integral: the search will just accept it
+    }
+    std::vector<Cut> cand = sh.cutgen->separate_rowwise(rel.x);
+    std::vector<Cut> gomory =
+        sh.cutgen->separate_gomory(probe, sh.opt.max_cuts_per_round);
+    for (Cut& cut : gomory) cand.push_back(std::move(cut));
+    int fresh = 0;
+    for (Cut& cut : cand) {
+      if (fresh >= sh.opt.max_cuts_per_round) break;
+      if (!seen.insert(cut_signature(cut)).second) continue;
+      probe.add_constraint(cut.terms, cut.lo, cut.up);
+      accepted.push_back(std::move(cut));
+      ++fresh;
+    }
+    if (fresh == 0) break;
+    ++rounds;
+    const double before = rel.objective;
+    rel = probe.solve_from_scratch();
+    lp_pivots += rel.iterations;
+    if (rel.status != lp::SolveStatus::kOptimal) return;
+    // Tailing off: when a whole round of cuts barely moves the bound, more
+    // rounds only pile up rows the tree pays for at every factorization.
+    if (rel.objective - before <
+        1e-4 * std::max(1.0, std::abs(before))) {
+      break;
+    }
+  }
+  // Install the binding subset. rel is the optimum of the fully cut system,
+  // so every accepted cut is satisfied at rel.x; binding means activity at
+  // the finite side within tolerance.
+  long kept = 0;
+  for (Cut& cut : accepted) {
+    double activity = 0.0;
+    for (const lp::Term& t : cut.terms) {
+      activity += t.coef * rel.x[static_cast<std::size_t>(t.var)];
+    }
+    const bool binding = (cut.up < lp::kInf && activity >= cut.up - 1e-6) ||
+                         (cut.lo > -lp::kInf && activity <= cut.lo + 1e-6);
+    if (!binding) continue;
+    sh.pre.reduced.add_constraint(cut.terms, cut.lo, cut.up);
+    sh.cut_signatures.insert(cut_signature(cut));
+    ++kept;
+  }
+  sh.cuts_added.fetch_add(kept, std::memory_order_relaxed);
+  sh.cut_rounds.fetch_add(rounds, std::memory_order_relaxed);
+}
 
 IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
   SearchShared shared(model, opt);
@@ -571,18 +914,35 @@ IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
 
   // Presolve can prove infeasibility outright (conflicting bounds, an
   // integral column fixed at a fractional value, an unsatisfiable row).
+  long root_lp_pivots = 0;
   if (!shared.pre.infeasible) {
+    // The cut phase mutates pre.reduced (kept root cuts become ordinary
+    // rows), so it runs before any engine the search keeps is constructed;
+    // every slot then picks the cuts up for free.
+    if (shared.cutgen != nullptr) {
+      run_cut_phase(shared, root_lp_pivots);
+    }
+    slots.push_back(std::make_unique<EngineSlot>(shared.pre.reduced, opt.lp));
+    slots[0]->engine.set_deadline(shared.deadline);
+    if (opt.rc_fixing && !shared.integral.empty()) {
+      // Solve the (possibly cut-strengthened) root once on slot 0 and
+      // snapshot its reduced costs; the first tree node then warm-starts
+      // off the same basis at zero extra cost.
+      const lp::Solution rel = slots[0]->engine.solve_from_scratch();
+      root_lp_pivots += rel.iterations;
+      slots[0]->used = true;
+      if (rel.status == lp::SolveStatus::kOptimal) {
+        capture_root_info(shared, slots[0]->engine);
+      }
+    }
     if (!parallel) {
-      slots.push_back(
-          std::make_unique<EngineSlot>(shared.pre.reduced, opt.lp));
-      slots[0]->engine.set_deadline(shared.deadline);
       workers.push_back(std::make_unique<Worker>(shared, nullptr, *slots[0],
                                                  /*id=*/0));
       workers[0]->run_root();
     } else {
       NodePool pool(opt.deterministic, /*hunger=*/2 * threads);
       const int num_slots = opt.deterministic ? 1 : threads;
-      for (int s = 0; s < num_slots; ++s) {
+      for (int s = 1; s < num_slots; ++s) {
         slots.push_back(
             std::make_unique<EngineSlot>(shared.pre.reduced, opt.lp));
         slots.back()->engine.set_deadline(shared.deadline);
@@ -627,6 +987,12 @@ IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
   out.presolve_fixed_variables = shared.pre.stats.fixed_variables;
   out.presolve_rows_removed = shared.pre.stats.rows_removed();
   out.presolve_bound_tightenings = shared.pre.stats.bound_tightenings;
+  out.lp_pivots += root_lp_pivots;
+  out.cuts_added = shared.cuts_added.load(std::memory_order_relaxed);
+  out.cut_rounds = shared.cut_rounds.load(std::memory_order_relaxed);
+  out.rc_fixings = shared.rc_fixed.load(std::memory_order_relaxed);
+  out.pseudocost_branches =
+      shared.pseudocost_branches.load(std::memory_order_relaxed);
   out.solve_seconds = shared.watch.elapsed_seconds();
 
   const int abort_status =

@@ -1,0 +1,427 @@
+// Cutting-plane separation: knapsack covers, literal cliques, Gomory mixed
+// integer cuts. See cutgen.hpp for the validity contract of each family.
+#include "ilp/cutgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace archex::ilp {
+
+namespace {
+
+constexpr double kCoefTol = 1e-9;
+/// Strictness margin for "the items overrun the right-hand side": a cover /
+/// conflict is only trusted when it exceeds the capacity by more than the
+/// accumulated float error possibly could.
+constexpr double kStrictTol = 1e-7;
+
+[[nodiscard]] double literal_value(int lit, const std::vector<double>& x) {
+  const double v = x[static_cast<std::size_t>(lit >> 1)];
+  return (lit & 1) != 0 ? 1.0 - v : v;
+}
+
+[[nodiscard]] bool sorted_contains(const std::vector<int>& v, int key) {
+  return std::binary_search(v.begin(), v.end(), key);
+}
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+[[nodiscard]] std::uint64_t quantize(double v) {
+  if (v == lp::kInf) return 0x7ff0000000000001ULL;
+  if (v == -lp::kInf) return 0xfff0000000000001ULL;
+  return static_cast<std::uint64_t>(std::llround(v * 1e9));
+}
+
+/// Emit the x-space inequality for `sum of literals <= cap`.
+[[nodiscard]] Cut literal_cut(const std::vector<int>& lits, int cap,
+                              Cut::Kind kind) {
+  Cut cut;
+  cut.kind = kind;
+  double up = cap;
+  for (const int lit : lits) {
+    const int j = lit >> 1;
+    if ((lit & 1) != 0) {
+      cut.terms.push_back({j, -1.0});
+      up -= 1.0;  // (1 - x_j) contributes its constant to the bound
+    } else {
+      cut.terms.push_back({j, 1.0});
+    }
+  }
+  cut.up = up;
+  return cut;
+}
+
+}  // namespace
+
+std::uint64_t cut_signature(const Cut& cut) {
+  std::vector<std::pair<int, double>> terms;
+  terms.reserve(cut.terms.size());
+  for (const lp::Term& t : cut.terms) terms.emplace_back(t.var, t.coef);
+  std::sort(terms.begin(), terms.end());
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [var, coef] : terms) {
+    h = mix64(h, static_cast<std::uint64_t>(var));
+    h = mix64(h, quantize(coef));
+  }
+  h = mix64(h, quantize(cut.lo));
+  h = mix64(h, quantize(cut.up));
+  return h;
+}
+
+bool cut_satisfied(const Cut& cut, const std::vector<double>& x, double tol) {
+  double total = 0.0;
+  for (const lp::Term& t : cut.terms) {
+    total += t.coef * x[static_cast<std::size_t>(t.var)];
+  }
+  return total >= cut.lo - tol && total <= cut.up + tol;
+}
+
+CutGenerator::CutGenerator(const lp::Problem& problem,
+                           std::vector<bool> is_binary,
+                           std::vector<bool> is_integer, CutGenOptions opt)
+    : prob_(&problem),
+      binary_(std::move(is_binary)),
+      integer_(std::move(is_integer)),
+      opt_(opt) {
+  ARCHEX_REQUIRE(
+      static_cast<int>(binary_.size()) == problem.num_variables() &&
+          static_cast<int>(integer_.size()) == problem.num_variables(),
+      "cut generator flag vectors must cover every column");
+  build_knapsacks();
+  build_conflicts();
+}
+
+/// Relax every finite row side to a 0/1 knapsack over binary literals:
+/// negate the row for the lower side, fold bounded non-binary terms into the
+/// right-hand side at their minimum contribution, and complement negative
+/// binary coefficients. Dropping a (tiny-coefficient) literal only weakens
+/// the knapsack, so every derived cover / conflict stays valid.
+void CutGenerator::build_knapsacks() {
+  const lp::Problem& p = *prob_;
+  for (int i = 0; i < p.num_constraints(); ++i) {
+    for (int side = 0; side < 2; ++side) {
+      const double bound = side == 0 ? p.row_up(i) : p.row_lo(i);
+      if (bound == lp::kInf || bound == -lp::kInf) continue;
+      const double sign = side == 0 ? 1.0 : -1.0;
+      KnapRow knap;
+      knap.rhs = sign * bound;
+      bool usable = true;
+      double coef_sum = 0.0;
+      for (const lp::Term& t : p.row(i)) {
+        const double a = sign * t.coef;
+        const auto j = static_cast<std::size_t>(t.var);
+        if (binary_[j] && a > kCoefTol) {
+          knap.items.emplace_back(2 * t.var, a);
+          coef_sum += a;
+        } else if (binary_[j] && a < -kCoefTol) {
+          // a * x == a - (-a) * (1 - x): complement and move the constant.
+          knap.items.emplace_back(2 * t.var + 1, -a);
+          knap.rhs -= a;
+          coef_sum += -a;
+        } else {
+          // Non-binary (or negligible) term: charge its minimum possible
+          // contribution to the capacity.
+          const double lo = a >= 0.0 ? p.col_lo(t.var) : p.col_up(t.var);
+          if (lo == -lp::kInf || lo == lp::kInf) {
+            usable = false;
+            break;
+          }
+          knap.rhs -= a * lo;
+        }
+      }
+      if (!usable || knap.items.size() < 2) continue;
+      if (knap.rhs < -kStrictTol) continue;  // no 0/1 point fits: presolve's job
+      if (coef_sum <= knap.rhs + kStrictTol) continue;  // no cover possible
+      knaps_.push_back(std::move(knap));
+    }
+  }
+}
+
+/// Pairwise literal conflicts: two literals whose coefficients alone overrun
+/// a knapsack's capacity cannot both be 1. Items are scanned largest-first
+/// so the quadratic pair loop stops at the first non-conflicting partner.
+void CutGenerator::build_conflicts() {
+  conflicts_.assign(2 * static_cast<std::size_t>(prob_->num_variables()), {});
+  for (const KnapRow& knap : knaps_) {
+    if (static_cast<int>(knap.items.size()) > opt_.max_clique_row) continue;
+    std::vector<std::pair<int, double>> items = knap.items;
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t p = 0; p < items.size(); ++p) {
+      for (std::size_t q = p + 1; q < items.size(); ++q) {
+        if (items[p].second + items[q].second <= knap.rhs + kStrictTol) break;
+        const int lp_ = items[p].first;
+        const int lq = items[q].first;
+        if ((lp_ >> 1) == (lq >> 1)) continue;  // x and 1-x: vacuous
+        conflicts_[static_cast<std::size_t>(lp_)].push_back(lq);
+        conflicts_[static_cast<std::size_t>(lq)].push_back(lp_);
+      }
+    }
+  }
+  for (auto& adj : conflicts_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+/// Greedy separation of a minimal cover violated at `x`, extended by every
+/// item at least as heavy as the heaviest cover member (valid for any cover:
+/// replacing k cover members by k extension items never lowers the weight).
+bool CutGenerator::cover_from_row(const KnapRow& row,
+                                  const std::vector<double>& x,
+                                  Cut& out) const {
+  const std::size_t k = row.items.size();
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Cheapest violation mass per unit of knapsack weight first.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ca = (1.0 - literal_value(row.items[a].first, x)) /
+                      row.items[a].second;
+    const double cb = (1.0 - literal_value(row.items[b].first, x)) /
+                      row.items[b].second;
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  std::vector<std::size_t> cover;
+  double weight = 0.0;
+  for (const std::size_t idx : order) {
+    cover.push_back(idx);
+    weight += row.items[idx].second;
+    if (weight > row.rhs + kStrictTol) break;
+  }
+  if (weight <= row.rhs + kStrictTol) return false;
+  // Minimalize: drop members the cover survives without (lightest first).
+  std::sort(cover.begin(), cover.end(), [&](std::size_t a, std::size_t b) {
+    return row.items[a].second < row.items[b].second;
+  });
+  for (std::size_t p = 0; p < cover.size();) {
+    if (weight - row.items[cover[p]].second > row.rhs + kStrictTol) {
+      weight -= row.items[cover[p]].second;
+      cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(p));
+    } else {
+      ++p;
+    }
+  }
+  double slack = 0.0;
+  double heaviest = 0.0;
+  for (const std::size_t idx : cover) {
+    slack += 1.0 - literal_value(row.items[idx].first, x);
+    heaviest = std::max(heaviest, row.items[idx].second);
+  }
+  if (slack >= 1.0 - opt_.min_violation) return false;
+  std::vector<int> lits;
+  lits.reserve(cover.size());
+  for (const std::size_t idx : cover) lits.push_back(row.items[idx].first);
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    if (std::find(cover.begin(), cover.end(), idx) != cover.end()) continue;
+    if (row.items[idx].second >= heaviest - 1e-12) {
+      lits.push_back(row.items[idx].first);
+    }
+  }
+  out = literal_cut(lits, static_cast<int>(cover.size()) - 1,
+                    Cut::Kind::kCover);
+  return true;
+}
+
+std::vector<Cut> CutGenerator::separate_rowwise(
+    const std::vector<double>& x) const {
+  std::vector<Cut> cuts;
+  std::unordered_set<std::uint64_t> seen;
+  for (const KnapRow& knap : knaps_) {
+    Cut cut;
+    if (!cover_from_row(knap, x, cut)) continue;
+    if (seen.insert(cut_signature(cut)).second) cuts.push_back(std::move(cut));
+  }
+
+  // Clique separation: grow a conflict clique greedily from each fractional
+  // literal, most fractional neighbours first.
+  std::vector<int> seeds;
+  for (std::size_t lit = 0; lit < conflicts_.size(); ++lit) {
+    if (conflicts_[lit].empty()) continue;
+    if (literal_value(static_cast<int>(lit), x) > opt_.min_violation) {
+      seeds.push_back(static_cast<int>(lit));
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](int a, int b) {
+    const double va = literal_value(a, x);
+    const double vb = literal_value(b, x);
+    if (va != vb) return va > vb;
+    return a < b;
+  });
+  std::vector<bool> used(conflicts_.size(), false);
+  for (const int seed : seeds) {
+    if (used[static_cast<std::size_t>(seed)]) continue;
+    std::vector<int> clique{seed};
+    double total = literal_value(seed, x);
+    std::vector<int> cand = conflicts_[static_cast<std::size_t>(seed)];
+    std::sort(cand.begin(), cand.end(), [&](int a, int b) {
+      const double va = literal_value(a, x);
+      const double vb = literal_value(b, x);
+      if (va != vb) return va > vb;
+      return a < b;
+    });
+    for (const int lit : cand) {
+      bool compatible = true;
+      for (const int member : clique) {
+        if (member != seed &&
+            !sorted_contains(conflicts_[static_cast<std::size_t>(lit)],
+                             member)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      clique.push_back(lit);
+      total += literal_value(lit, x);
+    }
+    if (clique.size() < 2 || total <= 1.0 + opt_.min_violation) continue;
+    Cut cut = literal_cut(clique, 1, Cut::Kind::kClique);
+    if (seen.insert(cut_signature(cut)).second) {
+      for (const int lit : clique) used[static_cast<std::size_t>(lit)] = true;
+      cuts.push_back(std::move(cut));
+    }
+  }
+  return cuts;
+}
+
+std::vector<Cut> CutGenerator::separate_gomory(lp::SimplexEngine& engine,
+                                               int max_cuts) const {
+  std::vector<Cut> cuts;
+  if (max_cuts <= 0 || !engine.has_basis()) return cuts;
+  const int n = prob_->num_variables();
+  const int m = engine.num_rows();
+  const int nm = n + m;
+
+  // Source rows: integral structural basic variables, most fractional first.
+  std::vector<std::pair<double, int>> sources;
+  for (int i = 0; i < m; ++i) {
+    const int b = engine.basic_variable(i);
+    if (b >= n || !integer_[static_cast<std::size_t>(b)]) continue;
+    const double v = engine.column_value(b);
+    const double f0 = v - std::floor(v);
+    if (f0 < opt_.min_gomory_frac || f0 > 1.0 - opt_.min_gomory_frac) continue;
+    sources.emplace_back(std::abs(f0 - 0.5), i);
+  }
+  std::sort(sources.begin(), sources.end());
+
+  std::vector<double> alpha;
+  std::vector<double> coef(static_cast<std::size_t>(n));
+  for (const auto& [dist, i] : sources) {
+    if (static_cast<int>(cuts.size()) >= max_cuts) break;
+    if (!engine.tableau_row(i, alpha)) break;
+    const int b = engine.basic_variable(i);
+    const double beta0 = engine.column_value(b);
+    const double f0 = beta0 - std::floor(beta0);
+
+    // The source row reads x_b + sum_j a_j t_j = beta0 over the nonbasic
+    // shifted variables t_j >= 0 (t = x - lo at lower, up - x at upper).
+    // The Gomory mixed-integer cut is sum_j g(a_j) t_j >= f0; substituting
+    // the shifts back yields an inequality over the structural columns
+    // (logical contributions are expanded through their row).
+    std::fill(coef.begin(), coef.end(), 0.0);
+    double rhs = f0;
+    bool ok = true;
+    for (int j = 0; j < nm && ok; ++j) {
+      if (j == b) continue;
+      const double aj = alpha[static_cast<std::size_t>(j)];
+      const auto status = engine.column_status(j);
+      if (status == lp::SimplexEngine::ColStatus::kBasic) {
+        // Other basic columns must have a (numerically) zero tableau entry.
+        if (std::abs(aj) > 1e-7) ok = false;
+        continue;
+      }
+      const double lo = engine.column_lower(j);
+      const double up = engine.column_upper(j);
+      if (lo == up) continue;  // fixed: t is identically zero
+      if (status == lp::SimplexEngine::ColStatus::kFree) {
+        if (std::abs(aj) > 1e-11) ok = false;  // no bound to shift from
+        continue;
+      }
+      const bool at_lower = status == lp::SimplexEngine::ColStatus::kAtLower;
+      const double shift = at_lower ? lo : up;
+      const double a = at_lower ? aj : -aj;
+      if (std::abs(a) < 1e-11 && !(j < n && integer_[static_cast<std::size_t>(j)])) {
+        continue;
+      }
+      double g;
+      const bool t_integer = j < n && integer_[static_cast<std::size_t>(j)] &&
+                             std::abs(shift - std::round(shift)) < 1e-9;
+      if (t_integer) {
+        const double fj = a - std::floor(a);
+        g = fj <= f0 + 1e-12 ? fj : f0 * (1.0 - fj) / (1.0 - f0);
+      } else {
+        g = a >= 0.0 ? a : f0 / (1.0 - f0) * (-a);
+      }
+      if (g < 1e-11) continue;
+      const double signed_g = at_lower ? g : -g;
+      // rhs collects f0 + sum_lower g*lo - sum_upper g*up.
+      rhs += signed_g * shift;
+      if (j < n) {
+        coef[static_cast<std::size_t>(j)] += signed_g;
+      } else if (j - n < prob_->num_constraints()) {
+        for (const lp::Term& t : prob_->row(j - n)) {
+          coef[static_cast<std::size_t>(t.var)] += signed_g * t.coef;
+        }
+      } else {
+        // Logical of a cut row added to the engine after this generator's
+        // problem snapshot: its structure is unknown here, so the row
+        // cannot be expanded — discard the source.
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+
+    // Numeric hygiene: drop negligible coefficients by charging their
+    // worst-case contribution to the right-hand side, then bound the
+    // coefficient dynamism.
+    double max_c = 0.0;
+    double min_c = lp::kInf;
+    Cut cut;
+    cut.kind = Cut::Kind::kGomory;
+    for (int j = 0; j < n && ok; ++j) {
+      const double c = coef[static_cast<std::size_t>(j)];
+      if (c == 0.0) continue;
+      if (std::abs(c) < 1e-10) {
+        const double far = c > 0.0 ? prob_->col_up(j) : prob_->col_lo(j);
+        if (far == lp::kInf || far == -lp::kInf) {
+          ok = false;
+          break;
+        }
+        rhs -= c * far;
+        continue;
+      }
+      max_c = std::max(max_c, std::abs(c));
+      min_c = std::min(min_c, std::abs(c));
+      cut.terms.push_back({j, c});
+    }
+    if (!ok || cut.terms.empty() || max_c / min_c > opt_.max_dynamism) {
+      continue;
+    }
+    // Dense rows poison the LU factorization of every LP the tree solves
+    // afterwards; the bound they buy is almost never worth it.
+    const std::size_t max_nnz = static_cast<std::size_t>(
+        std::max(16.0, opt_.max_gomory_density * static_cast<double>(n)));
+    if (cut.terms.size() > max_nnz) continue;
+    cut.lo = rhs;
+    double activity = 0.0;
+    for (const lp::Term& t : cut.terms) {
+      activity += t.coef * engine.column_value(t.var);
+    }
+    if (rhs - activity < opt_.min_violation) continue;
+    cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+}  // namespace archex::ilp

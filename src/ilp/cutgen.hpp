@@ -1,0 +1,111 @@
+// archex/ilp/cutgen.hpp
+//
+// Cutting-plane separation for the branch & bound core (DESIGN.md §4f).
+// Three families:
+//
+//  * knapsack cover cuts — every row side is relaxed to a 0/1 knapsack
+//    `sum a_j y_j <= b` (negative binary coefficients complemented, bounded
+//    non-binary terms folded into the right-hand side); a greedy minimal
+//    cover violated by the LP point yields `sum_{j in C} y_j <= |C| - 1`,
+//    extended by every item at least as heavy as the heaviest cover member;
+//  * clique cuts — pairwise conflicts between binary literals (a row side
+//    that two set literals already overrun) form a conflict graph; a greedy
+//    clique grown from the most fractional literals yields
+//    `sum literals <= 1`, which subsumes the pairwise implication rows the
+//    Boolean linearizations (add_or / add_and / add_leq) produce;
+//  * Gomory mixed-integer cuts — read off the optimal simplex tableau
+//    through SimplexEngine::tableau_row (see separate_gomory).
+//
+// Cover and clique cuts depend only on the problem's rows and the *root*
+// binary boxes, so they are valid at every node of the search tree and can
+// be shared across parallel workers. Gomory cuts additionally depend on the
+// column bounds active in the engine at separation time, so the search only
+// generates them at the root, where the bounds are the root bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/engine.hpp"
+#include "lp/problem.hpp"
+
+namespace archex::ilp {
+
+/// One cutting plane over the (reduced) LP's structural columns:
+/// `lo <= sum(terms) <= up` (one side is typically infinite).
+struct Cut {
+  enum class Kind : unsigned char { kCover, kClique, kGomory };
+  std::vector<lp::Term> terms;
+  double lo = -lp::kInf;
+  double up = lp::kInf;
+  Kind kind = Kind::kCover;
+};
+
+struct CutGenOptions {
+  /// Required violation of the separation point before a cut is emitted.
+  double min_violation = 1e-4;
+  /// Fractionality window for Gomory source rows: generate only when the
+  /// basic value's fractional part lies in [f, 1 - f].
+  double min_gomory_frac = 0.05;
+  /// Reject cuts whose |coefficient| ratio exceeds this (numeric hygiene).
+  double max_dynamism = 1e7;
+  /// Reject Gomory cuts denser than this fraction of the columns (with a
+  /// floor of 16 nonzeros): dense rows slow every later LU factorization.
+  double max_gomory_density = 0.25;
+  /// Skip the O(items^2) conflict scan on knapsack rows wider than this.
+  int max_clique_row = 64;
+};
+
+/// Stateless separator over a fixed problem. Construction preprocesses the
+/// rows (knapsack relaxations, literal conflict graph); the separate_*
+/// methods are const and safe to call from concurrent workers. Deduping
+/// across rounds/workers is the caller's job (see cut_signature).
+class CutGenerator {
+ public:
+  /// `is_binary[j]` marks columns with root box exactly [0, 1] that must be
+  /// integral; `is_integer[j]` marks all integral columns (for Gomory).
+  CutGenerator(const lp::Problem& problem, std::vector<bool> is_binary,
+               std::vector<bool> is_integer, CutGenOptions opt = {});
+
+  /// Cover + clique cuts violated at `x` (a point over problem's columns).
+  [[nodiscard]] std::vector<Cut> separate_rowwise(
+      const std::vector<double>& x) const;
+
+  /// Gomory mixed-integer cuts from the engine's optimal tableau. The
+  /// engine must be solving this generator's problem (plus, possibly,
+  /// previously added cut rows). Not const on the engine: the tableau
+  /// extraction uses its internal scratch.
+  [[nodiscard]] std::vector<Cut> separate_gomory(lp::SimplexEngine& engine,
+                                                 int max_cuts) const;
+
+ private:
+  /// One knapsack relaxation `sum coef * lit <= rhs` with positive
+  /// coefficients over binary literals (literal 2j = x_j, 2j+1 = 1 - x_j).
+  struct KnapRow {
+    std::vector<std::pair<int, double>> items;  // (literal, coef > 0)
+    double rhs = 0.0;
+  };
+
+  void build_knapsacks();
+  void build_conflicts();
+  [[nodiscard]] bool cover_from_row(const KnapRow& row,
+                                    const std::vector<double>& x,
+                                    Cut& out) const;
+
+  const lp::Problem* prob_;
+  std::vector<bool> binary_;
+  std::vector<bool> integer_;
+  CutGenOptions opt_;
+  std::vector<KnapRow> knaps_;
+  /// Conflict adjacency per literal (sorted, deduped literal ids).
+  std::vector<std::vector<int>> conflicts_;
+};
+
+/// Order-independent signature for cut dedup across rounds and workers.
+[[nodiscard]] std::uint64_t cut_signature(const Cut& cut);
+
+/// True when `x` satisfies the cut within `tol` (tests and debug checks).
+[[nodiscard]] bool cut_satisfied(const Cut& cut, const std::vector<double>& x,
+                                 double tol = 1e-6);
+
+}  // namespace archex::ilp

@@ -1,0 +1,223 @@
+// Unit tests for the cutting-plane separator (ilp/cutgen) and the
+// cut-and-branch layer's shared state under threads: cover cuts off
+// knapsack rows, clique cuts off the literal conflict graph, Gomory
+// mixed-integer cuts off the simplex tableau, signature-based dedup, and
+// the deterministic-mode contract with the cut layer enabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/arch_ilp.hpp"
+#include "eps/eps_template.hpp"
+#include "ilp/cutgen.hpp"
+#include "ilp/model.hpp"
+#include "ilp/solver.hpp"
+#include "lp/engine.hpp"
+#include "lp/problem.hpp"
+
+namespace archex::ilp {
+namespace {
+
+std::vector<bool> all_true(int n) {
+  return std::vector<bool>(static_cast<std::size_t>(n), true);
+}
+
+TEST(CutGen, CoverCutSeparatesFractionalKnapsackPoint) {
+  // 3x0 + 3x1 + 3x2 <= 7: all three items form a minimal cover (9 > 7), so
+  // the fractional point (7/9, 7/9, 7/9) — sum 7/3 > 2 — must be cut by
+  // x0 + x1 + x2 <= 2.
+  lp::Problem p;
+  for (int j = 0; j < 3; ++j) p.add_variable(0.0, 1.0, -1.0);
+  p.add_constraint({{0, 3.0}, {1, 3.0}, {2, 3.0}}, -lp::kInf, 7.0);
+
+  const CutGenerator gen(p, all_true(3), all_true(3));
+  const std::vector<double> x(3, 7.0 / 9.0);
+  const std::vector<Cut> cuts = gen.separate_rowwise(x);
+  ASSERT_FALSE(cuts.empty());
+
+  bool found_cover = false;
+  for (const Cut& cut : cuts) {
+    EXPECT_FALSE(cut_satisfied(cut, x, 1e-7));  // must cut the point off
+    if (cut.kind == Cut::Kind::kCover) found_cover = true;
+    // Validity: every integer point of the knapsack satisfies the cut.
+    std::vector<double> z(3);
+    for (unsigned mask = 0; mask < 8; ++mask) {
+      double act = 0.0;
+      for (int j = 0; j < 3; ++j) {
+        z[static_cast<std::size_t>(j)] = (mask >> j) & 1u ? 1.0 : 0.0;
+        act += 3.0 * z[static_cast<std::size_t>(j)];
+      }
+      if (act > 7.0) continue;
+      EXPECT_TRUE(cut_satisfied(cut, z, 1e-9)) << "mask " << mask;
+    }
+  }
+  EXPECT_TRUE(found_cover);
+}
+
+TEST(CutGen, CliqueCutSubsumesPairwiseConflicts) {
+  // Pairwise rows x_i + x_j <= 1 over three binaries admit the fractional
+  // point (1/2, 1/2, 1/2); the conflict graph is a triangle, so the clique
+  // cut x0 + x1 + x2 <= 1 must appear and cut the point off.
+  lp::Problem p;
+  for (int j = 0; j < 3; ++j) p.add_variable(0.0, 1.0, -1.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, -lp::kInf, 1.0);
+  p.add_constraint({{1, 1.0}, {2, 1.0}}, -lp::kInf, 1.0);
+  p.add_constraint({{0, 1.0}, {2, 1.0}}, -lp::kInf, 1.0);
+
+  const CutGenerator gen(p, all_true(3), all_true(3));
+  const std::vector<double> x(3, 0.5);
+  const std::vector<Cut> cuts = gen.separate_rowwise(x);
+
+  bool found_triangle = false;
+  for (const Cut& cut : cuts) {
+    EXPECT_FALSE(cut_satisfied(cut, x, 1e-7));
+    if (cut.kind == Cut::Kind::kClique && cut.terms.size() == 3) {
+      found_triangle = true;
+      EXPECT_NEAR(cut.up, 1.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_triangle);
+}
+
+TEST(CutGen, GomoryCutReadOffOptimalTableau) {
+  // min -x0 - x1 s.t. 2x0 + 2x1 <= 3 over binaries: the LP optimum has
+  // x0 + x1 = 1.5 (fractional), while every integer point has x0 + x1 <= 1.
+  // A Gomory cut from the optimal tableau must separate the LP point.
+  lp::Problem p;
+  p.add_variable(0.0, 1.0, -1.0);
+  p.add_variable(0.0, 1.0, -1.0);
+  p.add_constraint({{0, 2.0}, {1, 2.0}}, -lp::kInf, 3.0);
+
+  lp::SimplexEngine engine(p, lp::SimplexOptions{});
+  const lp::Solution rel = engine.solve_from_scratch();
+  ASSERT_EQ(rel.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(rel.x[0] + rel.x[1], 1.5, 1e-9);
+
+  const CutGenerator gen(p, all_true(2), all_true(2));
+  const std::vector<Cut> cuts = gen.separate_gomory(engine, 4);
+  ASSERT_FALSE(cuts.empty());
+  for (const Cut& cut : cuts) {
+    EXPECT_EQ(cut.kind, Cut::Kind::kGomory);
+    EXPECT_FALSE(cut_satisfied(cut, rel.x, 1e-7));
+    // Valid at every integer-feasible point of the instance.
+    for (const auto& z : {std::vector<double>{0.0, 0.0},
+                          std::vector<double>{1.0, 0.0},
+                          std::vector<double>{0.0, 1.0}}) {
+      EXPECT_TRUE(cut_satisfied(cut, z, 1e-7));
+    }
+  }
+}
+
+TEST(CutGen, SignatureIsOrderIndependentAndDiscriminates) {
+  Cut a;
+  a.terms = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  a.up = 4.0;
+  Cut b = a;
+  b.terms = {{2, 3.0}, {0, 1.0}, {1, 2.0}};  // permuted
+  EXPECT_EQ(cut_signature(a), cut_signature(b));
+
+  Cut c = a;
+  c.terms[1].coef = 2.5;
+  EXPECT_NE(cut_signature(a), cut_signature(c));
+  Cut d = a;
+  d.up = 5.0;
+  EXPECT_NE(cut_signature(a), cut_signature(d));
+}
+
+TEST(CutGen, CutSatisfiedHonoursTolerance) {
+  Cut cut;
+  cut.terms = {{0, 1.0}, {1, 1.0}};
+  cut.up = 1.0;
+  EXPECT_TRUE(cut_satisfied(cut, {0.5, 0.5}, 1e-9));
+  EXPECT_TRUE(cut_satisfied(cut, {0.5, 0.5 + 1e-8}, 1e-6));
+  EXPECT_FALSE(cut_satisfied(cut, {1.0, 0.5}, 1e-6));
+}
+
+TEST(CutBranch, DeterministicParallelReproducesSerialWithCutsOn) {
+  // The bit-for-bit deterministic-mode contract must survive the cut layer:
+  // root cuts are installed before workers start and tree cuts sync at dive
+  // boundaries, so a 4-thread deterministic run with cuts, pseudocost and
+  // rc-fixing enabled explores the exact serial preorder.
+  eps::EpsSpec spec;
+  spec.num_generators = 2;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  const core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+
+  BranchAndBoundOptions serial;
+  serial.cuts = true;  // pseudocost + rc-fixing are already on by default
+  const IlpResult s = BranchAndBoundSolver(serial).solve(ilp.model());
+  ASSERT_TRUE(s.optimal());
+
+  BranchAndBoundOptions det;
+  det.cuts = true;
+  det.threads = 4;
+  det.deterministic = true;
+  const IlpResult d = BranchAndBoundSolver(det).solve(ilp.model());
+  ASSERT_TRUE(d.optimal());
+  EXPECT_EQ(s.nodes_explored, d.nodes_explored);
+  EXPECT_EQ(s.nodes_pruned, d.nodes_pruned);
+  EXPECT_EQ(s.objective, d.objective);
+  EXPECT_EQ(s.x, d.x);
+  EXPECT_EQ(s.cuts_added, d.cuts_added);
+}
+
+TEST(CutBranch, SharedPoolAndPseudocostStateUnderFreeThreads) {
+  // Free-running 4-thread search with deep node cuts: workers separate into
+  // and attach from the shared pool concurrently while updating pseudocost
+  // and rc-fixing state. Run under TSan via the `parallel` label; here we
+  // assert the result is still the serial optimum and the counters moved.
+  eps::EpsSpec spec;
+  spec.num_generators = 2;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  const core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+
+  BranchAndBoundOptions plain;
+  plain.cuts = false;
+  plain.pseudocost = false;
+  plain.rc_fixing = false;
+  const IlpResult base = BranchAndBoundSolver(plain).solve(ilp.model());
+  ASSERT_TRUE(base.optimal());
+
+  BranchAndBoundOptions opt;
+  opt.cuts = true;
+  opt.threads = 4;
+  opt.node_cut_depth = 20;  // keep separating deep in the tree
+  const IlpResult r = BranchAndBoundSolver(opt).solve(ilp.model());
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(base.objective, r.objective, 1e-6);
+  EXPECT_GE(r.cuts_added, 0);
+  EXPECT_GE(r.rc_fixings, 0);
+}
+
+TEST(CutBranch, StatsPlumbedThroughResult) {
+  // On a model with an integrality gap the root loop must record its work:
+  // rounds > 0 whenever cuts were added, and disabled layers report zero.
+  eps::EpsSpec spec;
+  spec.num_generators = 1;
+  const eps::EpsTemplate eps = eps::make_eps_template(spec);
+  const core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+
+  BranchAndBoundOptions on;
+  on.cuts = true;
+  const IlpResult r = BranchAndBoundSolver(on).solve(ilp.model());
+  ASSERT_TRUE(r.optimal());
+  if (r.cuts_added > 0) {
+    EXPECT_GT(r.cut_rounds, 0);
+  }
+
+  BranchAndBoundOptions off;
+  off.cuts = false;
+  off.pseudocost = false;
+  off.rc_fixing = false;
+  const IlpResult q = BranchAndBoundSolver(off).solve(ilp.model());
+  ASSERT_TRUE(q.optimal());
+  EXPECT_EQ(q.cuts_added, 0);
+  EXPECT_EQ(q.cut_rounds, 0);
+  EXPECT_EQ(q.rc_fixings, 0);
+  EXPECT_EQ(q.pseudocost_branches, 0);
+  EXPECT_NEAR(r.objective, q.objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace archex::ilp

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "core/ilp_mr.hpp"
 #include "core/pareto.hpp"
 #include "eps/eps_template.hpp"
+#include "ilp/cutgen.hpp"
 #include "ilp/model.hpp"
 #include "ilp/mps.hpp"
 #include "ilp/solver.hpp"
@@ -170,7 +172,11 @@ TEST(IlpDifferential, ParallelMatchesSerialAndBalasOn240Instances) {
     const Model m = make_random_model(rng);
     ASSERT_TRUE(m.pure_binary());
 
-    BranchAndBoundSolver serial;
+    // The serial reference runs the full cut-and-branch layer (cuts are
+    // opt-in; the differential is the layer's correctness harness).
+    BranchAndBoundOptions sopt;
+    sopt.cuts = true;
+    BranchAndBoundSolver serial(sopt);
     const IlpResult s = serial.solve(m);
     ASSERT_TRUE(s.status == IlpStatus::kOptimal ||
                 s.status == IlpStatus::kInfeasible)
@@ -205,6 +211,7 @@ TEST(IlpDifferential, ParallelMatchesSerialAndBalasOn240Instances) {
     // may be a different equal-cost optimum).
     const int threads = kThreadCounts[i % 4];
     BranchAndBoundOptions popt;
+    popt.cuts = true;
     popt.threads = threads;
     const IlpResult p = BranchAndBoundSolver(popt).solve(m);
     ASSERT_EQ(s.status, p.status)
@@ -221,6 +228,7 @@ TEST(IlpDifferential, ParallelMatchesSerialAndBalasOn240Instances) {
     // bit-for-bit: node ordering (hence node/prune counts), objective and
     // assignment.
     BranchAndBoundOptions dopt;
+    dopt.cuts = true;
     dopt.threads = 4;
     dopt.deterministic = true;
     const IlpResult d = BranchAndBoundSolver(dopt).solve(m);
@@ -253,6 +261,126 @@ TEST(IlpDifferential, SerialStatsAreUnchangedByThreadsOne) {
     EXPECT_EQ(p.threads_used, 1) << "instance " << i;
     if (s.optimal()) EXPECT_EQ(s.x, p.x) << "instance " << i;
   }
+}
+
+// ---- cut-and-branch differentials ----------------------------------------------
+
+/// The cut layer, pseudocost branching and reduced-cost fixing must never
+/// change *what* is found, only how fast: every configuration agrees with
+/// the plain B&B on status and objective, serially and at 4 threads.
+TEST(IlpDifferential, CutAndBranchConfigsAgreeWithPlainSearch) {
+  Rng rng(0xc075a9e5eedULL);
+  for (int i = 0; i < 60; ++i) {
+    const Model m = make_random_model(rng);
+
+    BranchAndBoundOptions plain;
+    plain.cuts = false;
+    plain.pseudocost = false;
+    plain.rc_fixing = false;
+    const IlpResult base = BranchAndBoundSolver(plain).solve(m);
+    ASSERT_TRUE(base.status == IlpStatus::kOptimal ||
+                base.status == IlpStatus::kInfeasible)
+        << "instance " << i;
+
+    struct Config {
+      const char* name;
+      bool cuts;
+      bool pseudocost;
+      bool rc_fixing;
+    };
+    constexpr Config kConfigs[] = {
+        {"cuts", true, false, false},
+        {"pseudocost", false, true, false},
+        {"full", true, true, true},
+    };
+    for (const Config& cfg : kConfigs) {
+      for (const int threads : {0, 4}) {
+        BranchAndBoundOptions opt;
+        opt.cuts = cfg.cuts;
+        opt.pseudocost = cfg.pseudocost;
+        opt.rc_fixing = cfg.rc_fixing;
+        opt.threads = threads;
+        const IlpResult r = BranchAndBoundSolver(opt).solve(m);
+        ASSERT_EQ(base.status, r.status)
+            << "instance " << i << " config=" << cfg.name
+            << " threads=" << threads;
+        if (base.optimal()) {
+          ASSERT_NEAR(base.objective, r.objective, 1e-6)
+              << "instance " << i << " config=" << cfg.name
+              << " threads=" << threads;
+          ASSERT_TRUE(m.is_feasible(r.x, 1e-5))
+              << "instance " << i << " config=" << cfg.name
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+/// Every separated cut must be valid: satisfied by *every* integer-feasible
+/// point of the instance (brute-forced over the full 0/1 hypercube), while
+/// genuinely cutting off the fractional LP optimum it was separated at.
+TEST(IlpDifferential, SeparatedCutsValidOnEveryFeasiblePoint) {
+  Rng rng(0x5eedc10c5ULL);
+  int cuts_checked = 0;
+  for (int i = 0; i < 80; ++i) {
+    const Model m = make_random_model(rng);
+    const int n = m.num_variables();
+    if (n > 16) continue;
+    const lp::Problem p = m.to_lp();
+
+    std::vector<bool> is_binary(static_cast<std::size_t>(n));
+    std::vector<bool> is_integer(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const bool box01 = p.col_lo(j) == 0.0 && p.col_up(j) == 1.0;
+      is_binary[static_cast<std::size_t>(j)] = box01;
+      is_integer[static_cast<std::size_t>(j)] = true;
+    }
+
+    const lp::Solution rel = lp::solve(p, lp::SimplexOptions{});
+    if (rel.status != lp::SolveStatus::kOptimal) continue;
+
+    CutGenerator gen(p, is_binary, is_integer);
+    std::vector<Cut> cuts = gen.separate_rowwise(rel.x);
+    {
+      lp::SimplexEngine engine(p, lp::SimplexOptions{});
+      const lp::Solution es = engine.solve_from_scratch();
+      if (es.status == lp::SolveStatus::kOptimal) {
+        const std::vector<Cut> gomory = gen.separate_gomory(engine, 8);
+        cuts.insert(cuts.end(), gomory.begin(), gomory.end());
+      }
+    }
+    if (cuts.empty()) continue;
+
+    // Each cut must be violated at the LP point it was separated from.
+    for (const Cut& cut : cuts) {
+      EXPECT_FALSE(cut_satisfied(cut, rel.x, 1e-7))
+          << "instance " << i << ": cut does not cut off the LP optimum";
+    }
+
+    // ... and satisfied at every integer-feasible point.
+    std::vector<double> z(static_cast<std::size_t>(n));
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      bool in_box = true;
+      for (int j = 0; j < n; ++j) {
+        z[static_cast<std::size_t>(j)] =
+            (mask >> j) & 1u ? 1.0 : 0.0;
+        if (z[static_cast<std::size_t>(j)] < p.col_lo(j) - 0.5 ||
+            z[static_cast<std::size_t>(j)] > p.col_up(j) + 0.5) {
+          in_box = false;
+          break;
+        }
+      }
+      if (!in_box || !m.is_feasible(z, 1e-6)) continue;
+      for (std::size_t c = 0; c < cuts.size(); ++c) {
+        ASSERT_TRUE(cut_satisfied(cuts[c], z, 1e-6))
+            << "instance " << i << " cut " << c << " mask " << mask;
+      }
+    }
+    cuts_checked += static_cast<int>(cuts.size());
+  }
+  // The generator must have actually exercised the validity check.
+  EXPECT_GE(cuts_checked, 20);
 }
 
 // ---- kTimeLimit regression -----------------------------------------------------

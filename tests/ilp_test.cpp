@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "ilp/branching.hpp"
 #include "ilp/expr.hpp"
 #include "ilp/model.hpp"
 #include "ilp/solver.hpp"
@@ -228,10 +229,12 @@ TEST(BranchAndBound, ObjectiveConstantReported) {
 
 TEST(BranchAndBound, NodeLimitReported) {
   // Odd-cycle packing: the root LP optimum is the all-0.5 point, so at least
-  // one branch is required; with max_nodes = 1 the limit must trip.
+  // one branch is required; with max_nodes = 1 the limit must trip. Cuts
+  // stay off — the clique cut a+b+c <= 1 would close the gap at the root.
   BranchAndBoundOptions opt;
   opt.max_nodes = 1;
   opt.root_rounding_heuristic = false;
+  opt.cuts = false;
   Model m;
   const Var a = m.add_binary("a");
   const Var b = m.add_binary("b");
@@ -267,6 +270,56 @@ TEST(BranchAndBound, TimeLimitAbortsPromptly) {
 }
 
 // ---- Balas solver -----------------------------------------------------------
+
+TEST(Branching, TiesResolveToLowestIndex) {
+  // Three binaries, all equally fractional: the most-fractional rule must
+  // break the tie at the lowest variable index. This order is part of the
+  // deterministic-mode contract (bit-for-bit reproducible trees), so it is
+  // pinned here rather than left to accident.
+  Model m;
+  m.add_binary("a");
+  m.add_binary("b");
+  m.add_binary("c");
+  m.set_objective(LinExpr{});
+  const std::vector<int> integral = {0, 1, 2};
+
+  const std::vector<double> x = {0.5, 0.5, 0.5};
+  const BranchChoice plain =
+      select_branch_variable(m, integral, 1e-6, x, nullptr, 1);
+  EXPECT_EQ(plain.var, 0);
+  EXPECT_FALSE(plain.used_pseudocost);
+
+  // A strictly more fractional later variable still wins over earlier ones.
+  const std::vector<double> x2 = {0.3, 0.5, 0.3};
+  EXPECT_EQ(select_branch_variable(m, integral, 1e-6, x2, nullptr, 1).var, 1);
+
+  // Equal *pseudocost* scores tie-break to the lowest index as well.
+  PseudocostTable table(3);
+  for (const int j : {1, 2}) {
+    table.observe(j, false, 2.0);
+    table.observe(j, true, 2.0);
+  }
+  const BranchChoice pc =
+      select_branch_variable(m, integral, 1e-6, x, &table, 1);
+  EXPECT_TRUE(pc.used_pseudocost);
+  EXPECT_EQ(pc.var, 1);  // lowest index among the (tied) reliable pair
+
+  // Branching priority dominates both rules: the top class is selected
+  // first, and ties inside it again resolve to the lowest index.
+  m.set_branch_priority(Var{1}, 10);
+  m.set_branch_priority(Var{2}, 10);
+  const BranchChoice prio =
+      select_branch_variable(m, integral, 1e-6, x, nullptr, 1);
+  EXPECT_EQ(prio.var, 1);
+}
+
+TEST(Branching, IntegralPointYieldsNoCandidate) {
+  Model m;
+  m.add_binary("a");
+  m.set_objective(LinExpr{});
+  const std::vector<double> x = {1.0};
+  EXPECT_EQ(select_branch_variable(m, {0}, 1e-6, x, nullptr, 1).var, -1);
+}
 
 TEST(Balas, RejectsNonBinaryModels) {
   Model m;

@@ -273,6 +273,161 @@ TEST(MpsRoundTrip, EpsSynthesisModelSurvivesWriteRead) {
               reread - back.objective_constant(), 1e-6);
 }
 
+const ilp::Model::StoredRow& row_named(const ilp::Model& m,
+                                       const std::string& name) {
+  for (int i = 0; i < m.num_rows(); ++i) {
+    if (m.row(i).name == name) return m.row(i);
+  }
+  ARCHEX_REQUIRE(false, "no row named " + name);
+}
+
+TEST(MpsRanges, NegativeRangeWidensLAndGRowsByMagnitude) {
+  // The MPS standard: a RANGES value R on an L row yields [rhs - |R|, rhs]
+  // and on a G row [rhs, rhs + |R|] — the *sign* of R is irrelevant for
+  // inequality rows. Pin the negative-R case, which a naive signed
+  // implementation would invert.
+  const std::string text =
+      "NAME RNGLG\n"
+      "ROWS\n"
+      " N obj\n"
+      " L rl\n"
+      " G rg\n"
+      "COLUMNS\n"
+      "    x obj 1.0 rl 1.0\n"
+      "    x rg 1.0\n"
+      "RHS\n"
+      "    RHS rl 4.0 rg 1.0\n"
+      "RANGES\n"
+      "    RNG rl -3.0 rg -5.0\n"
+      "BOUNDS\n"
+      " MI BND x\n"
+      "ENDATA\n";
+  const ilp::Model m = ilp::from_mps(text);
+  const auto& rl = row_named(m, "rl");
+  EXPECT_DOUBLE_EQ(rl.lo, 1.0);  // 4 - |-3|
+  EXPECT_DOUBLE_EQ(rl.up, 4.0);
+  const auto& rg = row_named(m, "rg");
+  EXPECT_DOUBLE_EQ(rg.lo, 1.0);
+  EXPECT_DOUBLE_EQ(rg.up, 6.0);  // 1 + |-5|
+}
+
+TEST(MpsRanges, SignedRangeSelectsSideOnERows) {
+  // On an E row the sign of R picks the side the row widens to:
+  // R >= 0 gives [rhs, rhs + R], R < 0 gives [rhs + R, rhs].
+  const std::string text =
+      "NAME RNGE\n"
+      "ROWS\n"
+      " N obj\n"
+      " E rpos\n"
+      " E rneg\n"
+      "COLUMNS\n"
+      "    x obj 1.0 rpos 1.0\n"
+      "    x rneg 1.0\n"
+      "RHS\n"
+      "    RHS rpos 2.0 rneg 2.0\n"
+      "RANGES\n"
+      "    RNG rpos 1.5 rneg -1.5\n"
+      "BOUNDS\n"
+      " MI BND x\n"
+      "ENDATA\n";
+  const ilp::Model m = ilp::from_mps(text);
+  const auto& rpos = row_named(m, "rpos");
+  EXPECT_DOUBLE_EQ(rpos.lo, 2.0);
+  EXPECT_DOUBLE_EQ(rpos.up, 3.5);
+  const auto& rneg = row_named(m, "rneg");
+  EXPECT_DOUBLE_EQ(rneg.lo, 0.5);
+  EXPECT_DOUBLE_EQ(rneg.up, 2.0);
+}
+
+TEST(MpsRanges, NegativeBoundRangeRowsSurviveWriteRead) {
+  // Two-sided rows whose bounds are both negative exercise the writer's
+  // L + RANGES encoding with a negative RHS; the reread model must
+  // reproduce the exact interval, not just an equisatisfiable one.
+  ilp::Model m;
+  const ilp::Var x = m.add_continuous(-10.0, 10.0, "x");
+  const ilp::Var y = m.add_continuous(-10.0, 10.0, "y");
+  m.set_objective(1.0 * x + 2.0 * y);
+  {
+    ilp::RowSpec win;
+    win.expr = 1.0 * x + 1.0 * y;
+    win.lo = -4.0;
+    win.up = -1.0;
+    m.add_row(std::move(win), "negwin");
+  }
+  {
+    ilp::RowSpec straddle;
+    straddle.expr = 1.0 * x - 1.0 * y;
+    straddle.lo = -2.5;
+    straddle.up = 3.5;
+    m.add_row(std::move(straddle), "straddle");
+  }
+
+  // The writer suffixes row names for MPS uniqueness, but preserves order,
+  // so rows are compared by index.
+  const ilp::Model back = ilp::from_mps(ilp::to_mps(m, "NEGWIN"));
+  ASSERT_EQ(back.num_rows(), m.num_rows());
+  for (int i = 0; i < m.num_rows(); ++i) {
+    EXPECT_NEAR(m.row(i).lo, back.row(i).lo, 1e-12) << m.row(i).name;
+    EXPECT_NEAR(m.row(i).up, back.row(i).up, 1e-12) << m.row(i).name;
+  }
+
+  const double original = solve_model(m);
+  const double reread = solve_model(back);
+  EXPECT_NEAR(original, reread, 1e-9);
+}
+
+TEST(Presolve, NearIntegerBoundsSnapInsteadOfCrossing) {
+  {
+    // Propagated lower bound 2.9999999/3 sits within the recognition margin
+    // below 1: inward rounding must snap to 1 (fixing the binary), not leave
+    // a fractional bound behind.
+    Problem p;
+    p.add_variable(0.0, 1.0, 5.0);
+    p.add_constraint({{0, 3.0}}, 2.9999999, kInf);
+    const PresolveResult pre = presolve(p, {true});
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.stats.fixed_variables, 1);
+    EXPECT_DOUBLE_EQ(pre.fixed_value[0], 1.0);
+  }
+  {
+    // A lower bound a hair *above* an integer (within the margin) must be
+    // treated as numerical noise on that integer — snapping to 1, not
+    // crossing to 2. The solver's own feasibility tolerance accepts x = 1
+    // against this row, so presolve and search must agree.
+    Problem p;
+    p.add_variable(0.0, 3.0, 1.0);
+    p.add_constraint({{0, 1.0}}, 1.0000004, kInf);
+    const PresolveResult pre = presolve(p, {true});
+    ASSERT_FALSE(pre.infeasible);
+    const Solution reduced = solve(pre.reduced, SimplexOptions{});
+    ASSERT_EQ(reduced.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(reduced.objective + pre.objective_offset, 1.0, 1e-6);
+  }
+  {
+    // A genuinely fractional bound (outside the margin) must still cross:
+    // x >= 1.01 with x integral means x >= 2.
+    Problem p;
+    p.add_variable(0.0, 3.0, 1.0);
+    p.add_constraint({{0, 1.0}}, 1.01, kInf);
+    const PresolveResult pre = presolve(p, {true});
+    ASSERT_FALSE(pre.infeasible);
+    const Solution reduced = solve(pre.reduced, SimplexOptions{});
+    ASSERT_EQ(reduced.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(reduced.objective + pre.objective_offset, 2.0, 1e-6);
+  }
+  {
+    // Upper-bound mirror: x <= 1.9999996 keeps the integer 2 inside the box.
+    Problem p;
+    p.add_variable(0.0, 3.0, -1.0);  // maximize x via min -x
+    p.add_constraint({{0, 1.0}}, -kInf, 1.9999996);
+    const PresolveResult pre = presolve(p, {true});
+    ASSERT_FALSE(pre.infeasible);
+    const Solution reduced = solve(pre.reduced, SimplexOptions{});
+    ASSERT_EQ(reduced.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(reduced.objective + pre.objective_offset, -2.0, 1e-6);
+  }
+}
+
 TEST(MpsRoundTrip, RejectsMalformedInput) {
   EXPECT_THROW((void)ilp::from_mps("not an mps file"),
                PreconditionError);
