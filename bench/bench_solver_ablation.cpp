@@ -43,7 +43,15 @@ struct Instance {
 struct RunRecord {
   std::string engine;
   ilp::IlpResult result;
+  /// Time budget the run was given; lets the JSON flag budget-capped runs
+  /// whose node/time numbers measure throughput, not proven-tree size.
+  double budget_seconds = 0.0;
 };
+
+bool budget_capped(const ilp::IlpResult& result, double budget_seconds) {
+  return result.status == ilp::IlpStatus::kTimeLimit ||
+         (budget_seconds > 0.0 && result.solve_seconds >= budget_seconds);
+}
 
 json::Value run_to_json(const RunRecord& run) {
   const auto count = [](long v) {
@@ -53,6 +61,8 @@ json::Value run_to_json(const RunRecord& run) {
   o["engine"] = run.engine;
   o["status"] = to_string(run.result.status);
   o["seconds"] = run.result.solve_seconds;
+  o["budget_seconds"] = run.budget_seconds;
+  o["budget_capped"] = budget_capped(run.result, run.budget_seconds);
   o["objective"] = run.result.objective;
   o["nodes"] = count(run.result.nodes_explored);
   o["nodes_pruned"] = count(run.result.nodes_pruned);
@@ -75,6 +85,9 @@ json::Value run_to_json(const RunRecord& run) {
   o["cut_rounds"] = count(run.result.cut_rounds);
   o["rc_fixings"] = count(run.result.rc_fixings);
   o["pseudocost_branches"] = count(run.result.pseudocost_branches);
+  o["nogoods_learned"] = count(run.result.nogoods_learned);
+  o["nogood_prunings"] = count(run.result.nogood_prunings);
+  o["nogood_store_size"] = count(run.result.nogood_store_size);
   return o;
 }
 
@@ -125,14 +138,15 @@ int main(int argc, char** argv) {
       bopt.time_limit_seconds = 120.0;
       bopt.lp.dense_basis = dense;
       ilp::BranchAndBoundSolver solver(bopt);
-      runs.push_back({dense ? "bnb-dense" : "bnb-sparse", solver.solve(model)});
+      runs.push_back({dense ? "bnb-dense" : "bnb-sparse", solver.solve(model),
+                      bopt.time_limit_seconds});
     }
     if (inst.run_balas && model.pure_binary()) {
       ilp::BalasOptions bopt;
       bopt.max_nodes = 200'000'000;
       bopt.time_limit_seconds = 10.0;  // the limit status IS the data point
       ilp::BalasSolver solver(bopt);
-      runs.push_back({"balas", solver.solve(model)});
+      runs.push_back({"balas", solver.solve(model), bopt.time_limit_seconds});
     }
 
     for (const RunRecord& run : runs) {
@@ -217,6 +231,7 @@ int main(int argc, char** argv) {
       o["threads"] = threads;
       o["status"] = to_string(res.status);
       o["seconds"] = res.solve_seconds;
+      o["budget_capped"] = budget_capped(res, bopt.time_limit_seconds);
       o["objective"] = res.objective;
       o["speedup_vs_serial"] = thread_speedup;
       o["nodes"] = static_cast<long long>(res.nodes_explored);
@@ -307,6 +322,8 @@ int main(int argc, char** argv) {
       o["status"] = to_string(rep.status);
       o["iterations"] = rep.num_iterations();
       o["solver_seconds"] = rep.solver_seconds;
+      o["budget_capped"] = rep.solver_limit_hits > 0;
+      o["solver_limit_hits"] = static_cast<long long>(rep.solver_limit_hits);
       o["analysis_seconds"] = rep.analysis_seconds;
       o["nodes"] = static_cast<long long>(rep.solver_nodes);
       o["nodes_pruned"] = static_cast<long long>(rep.solver_nodes_pruned);
@@ -340,6 +357,113 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s (section \"cuts\")\n", json_path.c_str());
+  }
+
+  // Conflict-learning ablation (DESIGN.md §4g). Two workloads, same honest
+  // convention as the cuts section: eps-base-g3 ILP-MR runs into the
+  // per-call budget, so its node counts measure throughput within an equal
+  // budget (budget_capped=true in the JSON); eps-base-g2 ILP-MR runs to
+  // proven optimality, so its node counts are real tree sizes and the
+  // node-reduction number there is the one to quote.
+  std::puts("\n=== Conflict-learning ablation: ILP-MR on eps-base-g3/g2 ===\n");
+  json::Object learning_section;
+  {
+    TextTable learn_table({"workload", "learning", "status", "capped",
+                           "iters", "solver (s)", "nodes", "learned",
+                           "prunings", "store", "oracle", "cost"});
+    const struct Workload {
+      std::string name;
+      int generators = 0;
+      double target = 0.0;
+      const char* json_key = nullptr;
+    } workloads[] = {
+        {"eps-base-g3", 3, 2e-10, "budgeted_g3"},
+        {"eps-base-g2", 2, 4e-7, "to_optimality_g2"},
+    };
+    for (const Workload& wl : workloads) {
+      eps::EpsSpec spec;
+      spec.num_generators = wl.generators;
+      const eps::EpsTemplate eps = eps::make_eps_template(spec);
+      rel::EvalCache cache;  // identical analysis work across both configs
+
+      json::Array runs_json;
+      long nodes_off = 0, nodes_on = 0;
+      for (const bool learning : {false, true}) {
+        core::ArchitectureIlp ilp = eps::make_eps_ilp(eps);
+        ilp::BranchAndBoundOptions bopt;
+        bopt.time_limit_seconds = 120.0;
+        bopt.learning = learning;
+        ilp::BranchAndBoundSolver solver(bopt);
+        core::IlpMrOptions options;
+        options.target_failure = wl.target;
+        options.accept_incumbent = true;
+        options.max_iterations = 30;
+        options.cache = &cache;
+        const core::IlpMrReport rep = core::run_ilp_mr(ilp, solver, options);
+        (learning ? nodes_on : nodes_off) = rep.solver_nodes;
+
+        learn_table.add_row(
+            {wl.name, learning ? "on" : "off", to_string(rep.status),
+             rep.solver_limit_hits > 0 ? "yes" : "no",
+             std::to_string(rep.num_iterations()),
+             format_fixed(rep.solver_seconds, 3),
+             format_count(rep.solver_nodes),
+             format_count(rep.solver_nogoods_learned),
+             format_count(rep.solver_nogood_prunings),
+             format_count(rep.solver_nogood_store_size),
+             format_count(rep.oracle_nogoods),
+             rep.configuration
+                 ? format_fixed(rep.configuration->total_cost(), 0)
+                 : "-"});
+        std::fputs(learn_table.to_string().c_str(), stdout);
+        std::fflush(stdout);
+        std::puts("");
+
+        json::Object o;
+        o["learning"] = learning;
+        o["status"] = to_string(rep.status);
+        o["iterations"] = rep.num_iterations();
+        o["solver_seconds"] = rep.solver_seconds;
+        o["budget_capped"] = rep.solver_limit_hits > 0;
+        o["solver_limit_hits"] =
+            static_cast<long long>(rep.solver_limit_hits);
+        o["nodes"] = static_cast<long long>(rep.solver_nodes);
+        o["nodes_pruned"] = static_cast<long long>(rep.solver_nodes_pruned);
+        o["nogoods_learned"] =
+            static_cast<long long>(rep.solver_nogoods_learned);
+        o["nogood_prunings"] =
+            static_cast<long long>(rep.solver_nogood_prunings);
+        o["nogood_store_size"] =
+            static_cast<long long>(rep.solver_nogood_store_size);
+        o["oracle_nogoods"] = static_cast<long long>(rep.oracle_nogoods);
+        if (rep.configuration) o["cost"] = rep.configuration->total_cost();
+        runs_json.push_back(std::move(o));
+      }
+
+      const double node_reduction =
+          nodes_on > 0 ? static_cast<double>(nodes_off) /
+                             static_cast<double>(nodes_on)
+                       : 0.0;
+      std::printf("%s node reduction, learning on vs off: %.2fx "
+                  "(%ld -> %ld)\n\n",
+                  wl.name.c_str(), node_reduction, nodes_off, nodes_on);
+
+      json::Object wl_json;
+      wl_json["instance"] = wl.name;
+      wl_json["workload"] = std::string("ilp-mr-learncons");
+      wl_json["target_failure"] = wl.target;
+      wl_json["runs"] = std::move(runs_json);
+      wl_json["nodes_learning_off"] = static_cast<long long>(nodes_off);
+      wl_json["nodes_learning_on"] = static_cast<long long>(nodes_on);
+      wl_json["node_reduction_on_vs_off"] = node_reduction;
+      learning_section[wl.json_key] = std::move(wl_json);
+    }
+    if (!bench::write_bench_section(
+            json_path, "learning", json::Value(std::move(learning_section)))) {
+      std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (section \"learning\")\n", json_path.c_str());
   }
 
   json::Object section;

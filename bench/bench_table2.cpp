@@ -115,6 +115,9 @@ int main(int argc, char** argv) {
         o["iterations"] = rep.num_iterations();
         o["analysis_seconds"] = rep.analysis_seconds;
         o["solver_seconds"] = rep.solver_seconds;
+        o["budget_capped"] = rep.solver_limit_hits > 0;
+        o["solver_limit_hits"] =
+            static_cast<long long>(rep.solver_limit_hits);
         o["solver_nodes"] = static_cast<long long>(rep.solver_nodes);
         o["solver_nodes_pruned"] =
             static_cast<long long>(rep.solver_nodes_pruned);

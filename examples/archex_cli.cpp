@@ -4,6 +4,7 @@
 //   archex_cli synth   (--eps <generators> | --template <file.json>)
 //                      --target <r*> [--algorithm mr|ar] [--lazy]
 //                      [--time-limit <s>] [--accept-incumbent]
+//                      [--threads <n>] [--plain-bnb] [--no-learning]
 //                      [--dot <out.dot>] [--save <out.json>] [--mps <out.mps>]
 //   archex_cli analyze (--eps <generators> | --template <file.json>)
 //                      --config <file.json> [--importance] [--cuts]
@@ -57,6 +58,9 @@ struct Args {
   /// Disable the solver's cut-and-branch layer (cutting planes, pseudocost
   /// branching, reduced-cost fixing) for A/B comparisons.
   bool plain_bnb = false;
+  /// Conflict-driven nogood learning (DESIGN.md §4g); on by default,
+  /// --no-learning turns it off for A/B comparisons.
+  bool learning = true;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -65,7 +69,7 @@ struct Args {
       "usage:\n"
       "  archex_cli synth   (--eps N | --template F) --target R\n"
       "                     [--algorithm mr|ar] [--lazy] [--time-limit S]\n"
-      "                     [--threads N] [--plain-bnb]\n"
+      "                     [--threads N] [--plain-bnb] [--no-learning]\n"
       "                     [--accept-incumbent] [--dot F] [--save F] "
       "[--mps F]\n"
       "  archex_cli analyze (--eps N | --template F) --config F\n"
@@ -101,6 +105,8 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--importance") a.importance = true;
     else if (flag == "--cuts") a.cuts = true;
     else if (flag == "--plain-bnb") a.plain_bnb = true;
+    else if (flag == "--learning") a.learning = true;
+    else if (flag == "--no-learning") a.learning = false;
     else usage(("unknown flag " + flag).c_str());
   }
   return a;
@@ -162,10 +168,12 @@ int cmd_synth(const Args& a) {
   ilp::BranchAndBoundOptions bopt;
   bopt.time_limit_seconds = a.time_limit;
   bopt.threads = a.threads;  // >= 2 enables the work-stealing tree search
+  bopt.learning = a.learning;
   if (a.plain_bnb) {
     bopt.cuts = false;
     bopt.pseudocost = false;
     bopt.rc_fixing = false;
+    bopt.learning = false;
   }
   ilp::BranchAndBoundSolver solver(bopt);
 
@@ -184,6 +192,12 @@ int cmd_synth(const Args& a) {
                 "branchings\n",
                 rep.solver_nodes, rep.solver_cuts_added, rep.solver_rc_fixings,
                 rep.solver_pseudocost_branches);
+    if (bopt.learning) {
+      std::printf("learning: %ld nogoods (%ld oracle), %ld prunings, "
+                  "store %ld\n",
+                  rep.solver_nogoods_learned, rep.oracle_nogoods,
+                  rep.solver_nogood_prunings, rep.solver_nogood_store_size);
+    }
     if (rep.configuration) {
       std::printf("exact worst-sink failure: %.3e (target %.1e)\n",
                   rep.failure, a.target);
@@ -201,6 +215,11 @@ int cmd_synth(const Args& a) {
                 "branchings\n",
                 rep.solver_nodes, rep.solver_cuts_added, rep.solver_rc_fixings,
                 rep.solver_pseudocost_branches);
+    if (bopt.learning) {
+      std::printf("learning: %ld nogoods, %ld prunings, store %ld\n",
+                  rep.solver_nogoods_learned, rep.solver_nogood_prunings,
+                  rep.solver_nogood_store_size);
+    }
     if (rep.configuration) {
       std::printf("algebra r~ = %.3e, exact r = %.3e (target %.1e)\n",
                   rep.approx_failure, rep.exact_failure, a.target);

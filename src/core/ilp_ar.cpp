@@ -128,6 +128,9 @@ IlpArReport run_ilp_ar(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   report.solver_cut_rounds = result.cut_rounds;
   report.solver_rc_fixings = result.rc_fixings;
   report.solver_pseudocost_branches = result.pseudocost_branches;
+  report.solver_nogoods_learned = result.nogoods_learned;
+  report.solver_nogood_prunings = result.nogood_prunings;
+  report.solver_nogood_store_size = result.nogood_store_size;
 
   if (result.status == ilp::IlpStatus::kInfeasible) {
     report.status = SynthesisStatus::kUnfeasible;

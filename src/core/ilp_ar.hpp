@@ -70,6 +70,11 @@ struct IlpArReport {
   long solver_cut_rounds = 0;
   long solver_rc_fixings = 0;
   long solver_pseudocost_branches = 0;
+  /// Conflict-learning statistics of the solve (zero when the solver's
+  /// learning option is off).
+  long solver_nogoods_learned = 0;
+  long solver_nogood_prunings = 0;
+  long solver_nogood_store_size = 0;
 };
 
 /// Size of a GENILP-AR encoding without solving (Table III's constraint

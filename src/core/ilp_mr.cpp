@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "core/flow_encoder.hpp"
 #include "core/reach_encoder.hpp"
 #include "graph/bool_matrix.hpp"
 #include "graph/paths.hpp"
+#include "ilp/nogood.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -218,6 +221,22 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   Stopwatch analysis_watch;
   ConstraintLearner learner(ilp, options.encoding);
 
+  // Unified conflict store (DESIGN.md §4g): one nogood store shared by every
+  // SolveILP iteration. Sound because the loop only ever *adds* rows to the
+  // model (the set_nogood_store persistence contract), so an infeasibility
+  // conflict from iteration k still holds in iteration k+1. Reliability
+  // rejections are fed back as oracle nogoods below.
+  std::shared_ptr<ilp::NogoodStore> store;
+  if (options.unified_learning) {
+    if (auto* bnb = dynamic_cast<ilp::BranchAndBoundSolver*>(&solver);
+        bnb != nullptr && bnb->options().learning) {
+      ilp::NogoodStoreOptions store_opt;
+      store_opt.max_nogoods = bnb->options().max_nogoods;
+      store = std::make_shared<ilp::NogoodStore>(store_opt);
+      bnb->set_nogood_store(store);
+    }
+  }
+
   // Successive iterates differ by a few components, so their factoring
   // recursions share most pivot subproblems: always analyze through a cache,
   // preferring the caller's (which may already be warm).
@@ -237,6 +256,13 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
     report.solver_cut_rounds += result.cut_rounds;
     report.solver_rc_fixings += result.rc_fixings;
     report.solver_pseudocost_branches += result.pseudocost_branches;
+    report.solver_nogoods_learned += result.nogoods_learned;
+    report.solver_nogood_prunings += result.nogood_prunings;
+    report.solver_nogood_store_size = result.nogood_store_size;
+    if (result.status == ilp::IlpStatus::kTimeLimit ||
+        result.status == ilp::IlpStatus::kNodeLimit) {
+      ++report.solver_limit_hits;
+    }
 
     if (result.status == ilp::IlpStatus::kInfeasible) {
       report.status = SynthesisStatus::kUnfeasible;
@@ -268,6 +294,23 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
       report.configuration = std::move(config);
       report.failure = failure;
       break;
+    }
+
+    if (store != nullptr) {
+      // The exact oracle rejected this edge selection, and reliability
+      // depends on nothing but the selection — any later solution choosing
+      // the same edges extracts the same architecture and fails the same
+      // way. Record the full selection as a permanent oracle nogood; nodes
+      // whose boxes pin all candidate edges to it are pruned without an LP.
+      ilp::Nogood rejected;
+      rejected.source = ilp::NogoodSource::kOracle;
+      const int num_edges = ilp.arch_template().num_candidate_edges();
+      for (int e = 0; e < num_edges; ++e) {
+        const ilp::Var v = ilp.edge_var(e);
+        (result.value_bool(v) ? rejected.ones : rejected.zeros)
+            .push_back(v.id);
+      }
+      if (store->insert(std::move(rejected)) >= 0) ++report.oracle_nogoods;
     }
 
     analysis_watch.start();

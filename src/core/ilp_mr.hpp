@@ -59,6 +59,14 @@ struct IlpMrOptions {
   /// exact RELANALYSIS still gates acceptance); only cost optimality may
   /// degrade. Benchmarks enable this to bound their runtime.
   bool accept_incumbent = false;
+  /// Unified conflict store (DESIGN.md §4g): when the solver is a
+  /// BranchAndBoundSolver with learning enabled, install one shared nogood
+  /// store that persists across the solve/analyze/learn iterations — LP
+  /// infeasibility conflicts learned in iteration k keep pruning iteration
+  /// k+1's tree (LEARNCONS only ever adds rows, so they stay valid), and
+  /// every reliability rejection is recorded as an oracle nogood over the
+  /// rejected edge selection.
+  bool unified_learning = true;
   /// Memoization cache shared by every RELANALYSIS call. Null still
   /// memoizes *within* the run (successive iterates share most pivot
   /// subproblems); pass a cache to also share across runs.
@@ -98,6 +106,19 @@ struct IlpMrReport {
   long solver_cut_rounds = 0;
   long solver_rc_fixings = 0;
   long solver_pseudocost_branches = 0;
+  /// Conflict-learning statistics (zero when learning is off): nogoods
+  /// installed and nodes pruned by them, summed over all SolveILP
+  /// iterations; store size is the shared store's final live count.
+  long solver_nogoods_learned = 0;
+  long solver_nogood_prunings = 0;
+  long solver_nogood_store_size = 0;
+  /// Reliability rejections recorded as oracle nogoods (unified_learning).
+  long oracle_nogoods = 0;
+  /// SolveILP calls that tripped a node/time limit instead of proving
+  /// optimality or infeasibility. Nonzero means the solver-effort counters
+  /// above measure throughput within a budget, not proven-tree size —
+  /// benches report this as `budget_capped`.
+  long solver_limit_hits = 0;
 
   // Final model size.
   int num_rows = 0;

@@ -33,6 +33,8 @@ ParetoFrontier sweep_pareto_frontier(
     frontier.solver_cuts_added += report.solver_cuts_added;
     frontier.solver_rc_fixings += report.solver_rc_fixings;
     frontier.solver_pseudocost_branches += report.solver_pseudocost_branches;
+    frontier.solver_nogoods_learned += report.solver_nogoods_learned;
+    frontier.solver_nogood_prunings += report.solver_nogood_prunings;
 
     frontier.terminal_status = report.status;
     if (report.status != SynthesisStatus::kSuccess) break;

@@ -71,6 +71,8 @@ struct ParetoFrontier {
   long solver_cuts_added = 0;
   long solver_rc_fixings = 0;
   long solver_pseudocost_branches = 0;
+  long solver_nogoods_learned = 0;
+  long solver_nogood_prunings = 0;
 };
 
 /// Sweep the frontier. `make_base_ilp` must produce a fresh base ILP

@@ -39,6 +39,18 @@
 // from the root duals, published as a lock-free prune filter all workers
 // consult. In deterministic mode all of this shared state evolves in the
 // serial preorder, so bit-for-bit reproduction is preserved.
+//
+// The conflict-driven learning layer (DESIGN.md §4g) turns pruned subtrees
+// into reusable knowledge: an infeasible node LP yields a Farkas certificate
+// (lp::SimplexEngine::farkas_ray) and a bound-dominated node a Lagrangian
+// bound from its true reduced costs; either is reduced against the node's
+// branching path — free drops while the certificate's margin covers them,
+// then a few bounded LP probes — to a minimal 0/1 nogood over the *model's*
+// variables. Nogoods live in a shared ilp/nogood.hpp store (and optionally
+// persist across solves, see BranchAndBoundSolver::set_nogood_store);
+// workers keep a reduced-column compilation of the store, synced at dive
+// boundaries like the cut pool, and prune any node whose box implies all of
+// a nogood's literals before solving its LP.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -55,6 +67,7 @@
 
 #include "ilp/branching.hpp"
 #include "ilp/cutgen.hpp"
+#include "ilp/nogood.hpp"
 #include "ilp/solver.hpp"
 #include "lp/engine.hpp"
 #include "lp/presolve.hpp"
@@ -190,6 +203,29 @@ struct SearchShared {
   std::mutex pseudo_mutex;
   std::atomic<long> pseudocost_branches{0};
 
+  // Conflict-driven nogood learning (DESIGN.md §4g). The store speaks the
+  // model's variable space (so entries survive per-solve presolve
+  // differences); `compiled` is this solve's translation into reduced
+  // columns, append-only under nogood_mutex. Workers keep private copies
+  // (EngineSlot::nogoods) synced at dive boundaries so the per-node match
+  // check is lock-free.
+  NogoodStore* nogoods = nullptr;  // null when learning is off
+  /// A store nogood lowered to this solve's reduced columns. Literals whose
+  /// model variable presolve fixed *at* the literal's value are dropped
+  /// (they hold at every node); a nogood with a literal fixed at the
+  /// opposite value can never match this solve and is skipped entirely.
+  struct CompiledNogood {
+    std::vector<int> ones;   // reduced columns the nogood pins at 1
+    std::vector<int> zeros;  // reduced columns the nogood pins at 0
+    int store_index = -1;    // stable NogoodStore index (activity bumps)
+  };
+  std::mutex nogood_mutex;
+  std::vector<CompiledNogood> compiled;  // append-only during the search
+  std::vector<int> model_of_reduced;     // reduced column -> model variable
+  std::atomic<long> nogoods_learned{0};
+  std::atomic<long> nogood_prunings{0};
+  std::atomic<long> nogood_probes{0};
+
   // Reduced-cost fixing state. After the root LP solves, capture_root_info
   // stores the exact duality bound L = sum_j min(d_j lo_j, d_j up_j) over
   // the engine's columns (valid because the engine's row form a'x - s = 0
@@ -204,7 +240,8 @@ struct SearchShared {
   std::mutex rc_mutex;
   std::atomic<long> rc_fixed{0};
 
-  SearchShared(const Model& m, const BranchAndBoundOptions& o)
+  SearchShared(const Model& m, const BranchAndBoundOptions& o,
+               NogoodStore* store)
       : model(m), opt(o), pre(make_presolve(m, o)) {
     for (int j = 0; j < m.num_variables(); ++j) {
       if (m.is_integral(Var{j})) integral.push_back(j);
@@ -217,9 +254,11 @@ struct SearchShared {
     const std::size_t n = static_cast<std::size_t>(pre.reduced.num_variables());
     reduced_binary.assign(n, false);
     reduced_integer.assign(n, false);
+    model_of_reduced.assign(n, -1);
     for (int j = 0; j < m.num_variables(); ++j) {
-      if (!m.is_integral(Var{j})) continue;
       const int rj = pre.var_map[static_cast<std::size_t>(j)];
+      if (rj >= 0) model_of_reduced[static_cast<std::size_t>(rj)] = j;
+      if (!m.is_integral(Var{j})) continue;
       if (rj < 0) continue;
       reduced_integer[static_cast<std::size_t>(rj)] = true;
       if (pre.reduced.col_lo(rj) == 0.0 && pre.reduced.col_up(rj) == 1.0) {
@@ -232,6 +271,46 @@ struct SearchShared {
     }
     if (opt.pseudocost) {
       pseudo = std::make_unique<PseudocostTable>(m.num_variables());
+    }
+    if (store != nullptr && !integral.empty() && !pre.infeasible) {
+      nogoods = store;
+      // Incumbent-relative (dominance) nogoods from a previous solve were
+      // valid only against that solve's tightening cutoff trajectory.
+      nogoods->purge_transient();
+      compile_store();
+    }
+  }
+
+  /// Lower every live store entry into this solve's reduced columns (see
+  /// CompiledNogood for the presolve-fixed literal rules).
+  void compile_store() {
+    std::vector<std::pair<int, Nogood>> live;
+    nogoods->snapshot(live);
+    for (const auto& [index, ng] : live) {
+      CompiledNogood cng;
+      cng.store_index = index;
+      bool applicable = true;
+      for (const int v : ng.ones) {
+        const int rj = pre.var_map[static_cast<std::size_t>(v)];
+        if (rj >= 0) {
+          cng.ones.push_back(rj);
+        } else if (pre.fixed_value[static_cast<std::size_t>(v)] < 0.5) {
+          applicable = false;  // literal contradicted at every node
+          break;
+        }
+      }
+      if (applicable) {
+        for (const int v : ng.zeros) {
+          const int rj = pre.var_map[static_cast<std::size_t>(v)];
+          if (rj >= 0) {
+            cng.zeros.push_back(rj);
+          } else if (pre.fixed_value[static_cast<std::size_t>(v)] > 0.5) {
+            applicable = false;
+            break;
+          }
+        }
+      }
+      if (applicable) compiled.push_back(std::move(cng));
     }
   }
 
@@ -320,21 +399,29 @@ struct SearchShared {
            !best_obj.compare_exchange_weak(published, obj,
                                            std::memory_order_acq_rel)) {
     }
-    const std::lock_guard<std::mutex> lock(incumbent_mutex);
-    const bool have = have_incumbent.load(std::memory_order_relaxed);
-    const bool improves = !have || obj < incumbent_obj - kImproveTol;
-    const bool ties_smaller = have && obj <= incumbent_obj + kImproveTol &&
-                              lex_less(x, incumbent);
-    if (!improves && !ties_smaller) return false;
-    incumbent = std::move(x);
-    incumbent_obj = obj;
-    have_incumbent.store(true, std::memory_order_release);
-    // Keep the published pruning bound at the minimum accepted objective
-    // (a tie acceptance does not move it).
-    double bound = best_obj.load(std::memory_order_relaxed);
-    while (obj < bound && !best_obj.compare_exchange_weak(
-                              bound, obj, std::memory_order_acq_rel)) {
+    {
+      const std::lock_guard<std::mutex> lock(incumbent_mutex);
+      const bool have = have_incumbent.load(std::memory_order_relaxed);
+      const bool improves = !have || obj < incumbent_obj - kImproveTol;
+      const bool ties_smaller = have && obj <= incumbent_obj + kImproveTol &&
+                                lex_less(x, incumbent);
+      if (!improves && !ties_smaller) return false;
+      incumbent = std::move(x);
+      incumbent_obj = obj;
+      have_incumbent.store(true, std::memory_order_release);
+      // Keep the published pruning bound at the minimum accepted objective
+      // (a tie acceptance does not move it).
+      double bound = best_obj.load(std::memory_order_relaxed);
+      while (obj < bound && !best_obj.compare_exchange_weak(
+                                bound, obj, std::memory_order_acq_rel)) {
+      }
     }
+    // Republish reduced-cost fixings outside the incumbent mutex: fixings
+    // read only the atomic bound, and a fixing derived from a stale
+    // (higher) cutoff satisfied a *harder* condition than the fresh one —
+    // L + |d_j| >= cutoff is monotone in the incumbent, so a better
+    // incumbent landing concurrently (possibly republishing first) can
+    // never invalidate a fixing already derived, only add to it.
     try_rc_fixings();
     return true;
   }
@@ -472,6 +559,11 @@ struct EngineSlot {
   /// Number of shared-pool cuts already attached to this engine (the pool
   /// is append-only, so a single cursor suffices).
   std::size_t cuts_synced = 0;
+  /// Private copy of SearchShared::compiled for lock-free per-node checks,
+  /// plus the append-only cursor it is synced up to (dive boundaries, and
+  /// immediately after this worker's own learns).
+  std::vector<SearchShared::CompiledNogood> nogoods;
+  std::size_t nogoods_synced = 0;
 
   EngineSlot(const lp::Problem& problem, const lp::SimplexOptions& options)
       : engine(problem, options) {}
@@ -529,6 +621,7 @@ class Worker {
       slot_.engine.set_variable_bounds(c.col, c.lo, c.up);
     }
     sync_cuts();
+    sync_nogoods();
     const BranchOrigin origin{node.pc_var, node.pc_up, node.pc_dist,
                               node.parent_bound};
     recurse(node.depth, origin);
@@ -550,6 +643,268 @@ class Worker {
       ++attached;
     }
     return attached;
+  }
+
+  /// Copy any compiled nogoods this slot is missing. In deterministic mode
+  /// the single shared slot is always current, so this is a no-op.
+  void sync_nogoods() {
+    if (sh_.nogoods == nullptr) return;
+    const std::lock_guard<std::mutex> lock(sh_.nogood_mutex);
+    sync_nogoods_locked();
+  }
+
+  void sync_nogoods_locked() {
+    while (slot_.nogoods_synced < sh_.compiled.size()) {
+      slot_.nogoods.push_back(sh_.compiled[slot_.nogoods_synced++]);
+    }
+  }
+
+  /// True when the engine's current box implies every literal of a known
+  /// nogood — the subtree holds no improving feasible point. Bumps the
+  /// firing entry's activity so eviction keeps what actually prunes.
+  [[nodiscard]] bool nogood_pruned() {
+    if (slot_.nogoods.empty()) return false;
+    for (const SearchShared::CompiledNogood& ng : slot_.nogoods) {
+      bool match = true;
+      for (const int col : ng.ones) {
+        if (slot_.engine.col_lo(col) < 0.5) { match = false; break; }
+      }
+      if (match) {
+        for (const int col : ng.zeros) {
+          if (slot_.engine.col_up(col) > 0.5) { match = false; break; }
+        }
+      }
+      if (match) {
+        sh_.nogoods->bump(ng.store_index);
+        sh_.nogood_prunings.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- conflict-driven learning (DESIGN.md §4g) ----------------------------
+
+  /// One candidate literal: reduced binary column `col` pinned at 1 (`one`)
+  /// or 0 by the branching path, and the certificate damage `weight` that
+  /// relaxing it back to its root box would cost.
+  struct ConflictLit {
+    int col = 0;
+    bool one = false;
+    double weight = 0.0;
+  };
+
+  /// Columns the branching path touched, deduped: nested narrowings leave
+  /// the innermost box in the engine, which is all the learners read.
+  [[nodiscard]] std::vector<int> path_columns() const {
+    std::vector<int> cols;
+    cols.reserve(slot_.applied.size());
+    for (const BoundChange& c : slot_.applied) cols.push_back(c.col);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    return cols;
+  }
+
+  /// Weight-ascending order with a column tie-break, so the greedy drop
+  /// sequence is identical in every search mode.
+  static void sort_lits(std::vector<ConflictLit>& lits) {
+    std::sort(lits.begin(), lits.end(),
+              [](const ConflictLit& a, const ConflictLit& b) {
+                if (a.weight != b.weight) return a.weight < b.weight;
+                return a.col < b.col;
+              });
+  }
+
+  /// Translate reduced-column literals to the model's variable space and
+  /// install them into the shared store (plus this solve's compiled list,
+  /// which also refreshes this worker's private copy immediately).
+  void install_nogood(const std::vector<ConflictLit>& lits,
+                      NogoodSource source) {
+    Nogood ng;
+    ng.source = source;
+    SearchShared::CompiledNogood cng;
+    for (const ConflictLit& lit : lits) {
+      const int mv = sh_.model_of_reduced[static_cast<std::size_t>(lit.col)];
+      if (mv < 0) return;  // branch column without a model variable
+      (lit.one ? ng.ones : ng.zeros).push_back(mv);
+      (lit.one ? cng.ones : cng.zeros).push_back(lit.col);
+    }
+    const int index = sh_.nogoods->insert(std::move(ng));
+    if (index < 0) return;  // live duplicate: the store bumped its activity
+    cng.store_index = index;
+    {
+      const std::lock_guard<std::mutex> lock(sh_.nogood_mutex);
+      sh_.compiled.push_back(std::move(cng));
+      sync_nogoods_locked();  // the learner sees its own nogood at once
+    }
+    sh_.nogoods_learned.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Infeasible node LP -> permanent 0/1 nogood. The Farkas weights z
+  /// satisfy z'x = 0 for every point of the row system while
+  /// sup{z'x : node boxes} = -margin < 0. Relaxing a path column back to
+  /// its root box raises that supremum by z_j * (root_up - up) when
+  /// z_j > 0 (the proof leans on the upper bound) or |z_j| * (lo - root_lo)
+  /// when z_j < 0; a branch the certificate ignores is dropped outright,
+  /// and further literals are dropped greedily while the margin covers
+  /// their damage. Conflicts still wider than max_nogood_literals spend up
+  /// to max_nogood_probes LP re-solves testing certificate-supported
+  /// literals for redundancy. The result persists across solves: the rows
+  /// the proof uses (model rows, presolve tightenings, cuts, learncons
+  /// rows) are all valid for every integral feasible point of the model,
+  /// and later solves only add to them.
+  void learn_infeasible() {
+    if (sh_.nogoods == nullptr || slot_.applied.empty()) return;
+    lp::SimplexEngine& engine = slot_.engine;
+    std::vector<double> z;
+    double margin = 0.0;
+    if (!engine.farkas_ray(z, margin)) return;
+
+    std::vector<ConflictLit> cand;
+    for (const int col : path_columns()) {
+      const auto& [root_lo, root_up] =
+          sh_.root_bounds[static_cast<std::size_t>(col)];
+      const double lo = engine.col_lo(col);
+      const double up = engine.col_up(col);
+      const double zj = z[static_cast<std::size_t>(col)];
+      double weight = 0.0;
+      if (zj > 0.0 && up < root_up - 1e-12) {
+        weight = zj * (root_up - up);
+      } else if (zj < 0.0 && lo > root_lo + 1e-12) {
+        weight = -zj * (lo - root_lo);
+      }
+      if (weight <= 0.0) continue;  // certificate ignores this branch
+      // Only clean 0/1 fixings of binary columns become literals; a
+      // participating general-integer branch has no 0/1 encoding -- bail.
+      if (root_lo != 0.0 || root_up != 1.0 || lo != up) return;
+      cand.push_back({col, lo > 0.5, weight});
+    }
+    sort_lits(cand);
+    std::vector<ConflictLit> keep;
+    double budget = margin - 1e-7;
+    for (const ConflictLit& lit : cand) {
+      if (lit.weight <= budget) {
+        budget -= lit.weight;  // margin still certifies the relaxation
+      } else {
+        keep.push_back(lit);
+      }
+    }
+
+    if (static_cast<int>(keep.size()) >
+        sh_.opt.max_nogood_literals + sh_.opt.max_nogood_probes) {
+      return;  // cannot reach the cap even if every probe succeeds
+    }
+    if (static_cast<int>(keep.size()) > sh_.opt.max_nogood_literals) {
+      if (!probe_drops(keep)) return;
+    }
+    install_nogood(keep, NogoodSource::kInfeasible);
+  }
+
+  /// LP re-check minimization: relax everything already dropped, then test
+  /// kept literals lightest-first — a re-solve that stays infeasible
+  /// LP-certifies the smaller set directly. Returns false when the
+  /// conflict stays over the literal cap (no install). The engine is
+  /// restored to the node's exact box either way: the parent's backtracking
+  /// undoes only its own branch column.
+  bool probe_drops(std::vector<ConflictLit>& keep) {
+    lp::SimplexEngine& engine = slot_.engine;
+    std::vector<std::pair<int, std::pair<double, double>>> touched;
+    const auto relax = [&](int col) {
+      touched.emplace_back(
+          col, std::make_pair(engine.col_lo(col), engine.col_up(col)));
+      const auto& [rl, ru] = sh_.root_bounds[static_cast<std::size_t>(col)];
+      engine.set_variable_bounds(col, rl, ru);
+    };
+    std::vector<bool> kept_col(sh_.root_bounds.size(), false);
+    for (const ConflictLit& lit : keep) {
+      kept_col[static_cast<std::size_t>(lit.col)] = true;
+    }
+    for (const int col : path_columns()) {
+      if (!kept_col[static_cast<std::size_t>(col)]) relax(col);
+    }
+    int probes = 0;
+    std::size_t next = 0;
+    while (next < keep.size() && probes < sh_.opt.max_nogood_probes &&
+           static_cast<int>(keep.size()) > sh_.opt.max_nogood_literals) {
+      const ConflictLit lit = keep[next];
+      const std::pair<double, double> saved = {engine.col_lo(lit.col),
+                                               engine.col_up(lit.col)};
+      relax(lit.col);
+      const lp::Solution probe = engine.reoptimize();
+      lp_pivots_ += probe.iterations;
+      ++probes;
+      sh_.nogood_probes.fetch_add(1, std::memory_order_relaxed);
+      if (probe.status == lp::SolveStatus::kInfeasible) {
+        keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(next));
+        continue;  // literal redundant; leave the column relaxed
+      }
+      engine.set_variable_bounds(lit.col, saved.first, saved.second);
+      if (probe.status == lp::SolveStatus::kTimeLimit) {
+        sh_.abort_with(IlpStatus::kTimeLimit);
+        break;
+      }
+      if (probe.status != lp::SolveStatus::kOptimal) break;  // numerics
+      ++next;
+    }
+    for (const auto& [col, box] : touched) {
+      engine.set_variable_bounds(col, box.first, box.second);
+    }
+    return static_cast<int>(keep.size()) <= sh_.opt.max_nogood_literals &&
+           !sh_.aborted();
+  }
+
+  /// Bound-dominated node -> transient 0/1 nogood. With true reduced costs
+  /// d = c - y'A at the node's optimal basis (the engine's rows read
+  /// a'x - s = 0, so y'b vanishes and c'x = sum_j d_j x_j for every
+  /// row-feasible point), B = sum_j min(d_j lo_j, d_j up_j) bounds every
+  /// feasible point of the node's box from below. When B clears the
+  /// incumbent cutoff, the slack is a budget: a path literal whose
+  /// relaxation to the root box lowers B by less than the remaining budget
+  /// is dropped for free (no LP probes here — dominance conflicts are
+  /// plentiful and each probe would cost a scratch solve). Valid only while
+  /// the cutoff it beat keeps tightening, i.e. for the rest of *this*
+  /// solve -> kDominance, purged at the next solve's start.
+  void learn_dominance() {
+    if (sh_.nogoods == nullptr || slot_.applied.empty()) return;
+    lp::SimplexEngine& engine = slot_.engine;
+    std::vector<double> d;
+    if (!engine.reduced_costs(d)) return;
+    double box_min = 0.0;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      const double dj = d[j];
+      if (dj == 0.0) continue;
+      const double bnd = dj > 0.0 ? engine.column_lower(static_cast<int>(j))
+                                  : engine.column_upper(static_cast<int>(j));
+      if (bnd == -lp::kInf || bnd == lp::kInf) return;
+      box_min += dj * bnd;
+    }
+    double budget =
+        box_min + sh_.pre.objective_offset - sh_.prune_threshold() - 1e-7;
+    if (budget < 0.0) return;  // perturbation slack ate the margin
+    std::vector<ConflictLit> cand;
+    for (const int col : path_columns()) {
+      const auto& [root_lo, root_up] =
+          sh_.root_bounds[static_cast<std::size_t>(col)];
+      const double lo = engine.col_lo(col);
+      const double up = engine.col_up(col);
+      const double dj = d[static_cast<std::size_t>(col)];
+      const double weight = std::min(dj * lo, dj * up) -
+                            std::min(dj * root_lo, dj * root_up);
+      if (weight <= 1e-12) continue;  // relaxing costs the bound nothing
+      if (root_lo != 0.0 || root_up != 1.0 || lo != up) return;
+      cand.push_back({col, lo > 0.5, weight});
+    }
+    sort_lits(cand);
+    std::vector<ConflictLit> keep;
+    for (const ConflictLit& lit : cand) {
+      if (lit.weight <= budget) {
+        budget -= lit.weight;
+      } else {
+        keep.push_back(lit);
+      }
+    }
+    if (static_cast<int>(keep.size()) > sh_.opt.max_nogood_literals) return;
+    install_nogood(keep, NogoodSource::kDominance);
   }
 
   /// Separate cover/clique cuts at this node's reduced-space LP point,
@@ -604,6 +959,13 @@ class Worker {
       ++pruned_;
       return;
     }
+    // A stored nogood matching the node's box proves the subtree holds no
+    // improving feasible point; like a fixing conflict, the node counts as
+    // pruned and its LP is never solved.
+    if (sh_.nogoods != nullptr && nogood_pruned()) {
+      ++pruned_;
+      return;
+    }
     if (sh_.nodes.fetch_add(1, std::memory_order_relaxed) >=
         sh_.opt.max_nodes) {
       sh_.nodes.fetch_sub(1, std::memory_order_relaxed);
@@ -626,7 +988,10 @@ class Worker {
     slot_.used = true;
     lp_pivots_ += rel.iterations;
 
-    if (rel.status == lp::SolveStatus::kInfeasible) return;
+    if (rel.status == lp::SolveStatus::kInfeasible) {
+      learn_infeasible();
+      return;
+    }
     if (rel.status == lp::SolveStatus::kTimeLimit) {
       sh_.abort_with(IlpStatus::kTimeLimit);
       return;
@@ -658,6 +1023,7 @@ class Worker {
     }
 
     if (bound >= sh_.prune_threshold()) {
+      learn_dominance();
       ++pruned_;
       return;
     }
@@ -895,8 +1261,9 @@ void run_cut_phase(SearchShared& sh, long& lp_pivots) {
   sh.cut_rounds.fetch_add(rounds, std::memory_order_relaxed);
 }
 
-IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
-  SearchShared shared(model, opt);
+IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt,
+                     NogoodStore* store) {
+  SearchShared shared(model, opt, store);
   shared.watch.start();
   // The LP engines honour the same wall-clock budget as the tree search,
   // so a node relaxation that overruns the limit aborts within a few dozen
@@ -993,6 +1360,15 @@ IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
   out.rc_fixings = shared.rc_fixed.load(std::memory_order_relaxed);
   out.pseudocost_branches =
       shared.pseudocost_branches.load(std::memory_order_relaxed);
+  out.nogoods_learned = shared.nogoods_learned.load(std::memory_order_relaxed);
+  out.nogood_prunings = shared.nogood_prunings.load(std::memory_order_relaxed);
+  out.nogood_probes = shared.nogood_probes.load(std::memory_order_relaxed);
+  if (shared.nogoods != nullptr) {
+    // Solve boundary: age activities so the entries that pruned *recently*
+    // outrank long-quiet ones at the next eviction sweep.
+    shared.nogoods->decay();
+    out.nogood_store_size = shared.nogoods->size();
+  }
   out.solve_seconds = shared.watch.elapsed_seconds();
 
   const int abort_status =
@@ -1016,7 +1392,13 @@ IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt) {
 }  // namespace
 
 IlpResult BranchAndBoundSolver::solve(const Model& model) {
-  return run_search(model, options_);
+  if (!options_.learning) return run_search(model, options_, nullptr);
+  if (store_ != nullptr) return run_search(model, options_, store_.get());
+  // No external store installed: learn within this solve only.
+  NogoodStoreOptions store_opt;
+  store_opt.max_nogoods = options_.max_nogoods;
+  NogoodStore local(store_opt);
+  return run_search(model, options_, &local);
 }
 
 }  // namespace archex::ilp

@@ -75,6 +75,13 @@ struct IlpResult {
   long rc_fixings = 0;           // 0/1 columns fixed by reduced cost
   long pseudocost_branches = 0;  // branchings decided by pseudocost scores
 
+  // Conflict-driven nogood learning (DESIGN.md §4g; zeros when learning is
+  // off).
+  long nogoods_learned = 0;    // nogoods installed into the store this solve
+  long nogood_prunings = 0;    // nodes pruned by a matching stored nogood
+  long nogood_probes = 0;      // minimization LP probes spent
+  long nogood_store_size = 0;  // live store entries when the solve finished
+
   double solve_seconds = 0.0;
 
   // Per-worker breakdown (size == threads_used; single entry for serial
@@ -160,10 +167,32 @@ struct BranchAndBoundOptions {
   /// cannot beat the incumbent, re-checked at every incumbent improvement;
   /// fixings propagate to all workers as a shared prune filter.
   bool rc_fixing = true;
+
+  // ---- conflict-driven nogood learning (DESIGN.md §4g) ---------------------
+
+  /// Learn 0/1 nogoods from infeasible and bound-dominated nodes: the
+  /// engine's Farkas certificate (or a Lagrangian bound from the node's
+  /// true reduced costs) is reduced against the branching path to a minimal
+  /// partial assignment that can never be extended to an improving feasible
+  /// solution, stored signature-deduped in a shared, activity-scored pool
+  /// (ilp/nogood.hpp) and checked before every node LP. Deterministic mode
+  /// is preserved bit-for-bit.
+  bool learning = true;
+  /// Discard conflicts that stay wider than this after minimization (long
+  /// nogoods almost never fire again and slow every node check).
+  int max_nogood_literals = 16;
+  /// LP re-solves spent per infeasibility conflict probing whether a
+  /// certificate-supported literal is nonetheless redundant.
+  int max_nogood_probes = 4;
+  /// Live-entry cap of the nogood store (lowest-activity eviction).
+  int max_nogoods = 20000;
+
   /// Options forwarded to the underlying simplex engine (e.g. dense_basis
   /// to run the dense differential-testing oracle).
   lp::SimplexOptions lp;
 };
+
+class NogoodStore;
 
 /// LP-based branch & bound (depth-first with best-bound pruning).
 class BranchAndBoundSolver final : public IlpSolver {
@@ -174,8 +203,24 @@ class BranchAndBoundSolver final : public IlpSolver {
   [[nodiscard]] IlpResult solve(const Model& model) override;
   [[nodiscard]] std::string name() const override { return "branch-and-bound"; }
 
+  /// Share an external nogood store across solve() calls (and across solver
+  /// instances). Without one, each solve uses a private store that dies with
+  /// it. Persistence contract: the store may only be reused across models
+  /// that *add* constraints to (never relax) an earlier one over the same
+  /// variable numbering — the ILP-MR / ILP-AR synthesis loops satisfy this
+  /// (learncons and counterexample rows only accumulate), so conflicts
+  /// learned in iteration k keep pruning iteration k+1's tree.
+  void set_nogood_store(std::shared_ptr<NogoodStore> store) {
+    store_ = std::move(store);
+  }
+
+  [[nodiscard]] const BranchAndBoundOptions& options() const {
+    return options_;
+  }
+
  private:
   BranchAndBoundOptions options_;
+  std::shared_ptr<NogoodStore> store_;
 };
 
 struct BalasOptions {

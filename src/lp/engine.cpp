@@ -211,6 +211,7 @@ class EngineImpl {
       max_iter_ = 4000 + 60L * (static_cast<long>(n_) + m_);
     }
     basis_valid_ = false;
+    farkas_valid_ = false;  // a certificate does not cover the new row
   }
 
   void set_deadline(std::chrono::steady_clock::time_point deadline) {
@@ -220,9 +221,17 @@ class EngineImpl {
 
   void clear_deadline() { have_deadline_ = false; }
 
+  [[nodiscard]] bool farkas_ray(std::vector<double>& z, double& margin) const {
+    if (!farkas_valid_) return false;
+    z = farkas_z_;
+    margin = farkas_margin_;
+    return true;
+  }
+
   Solution solve_from_scratch() {
     ++stats_.scratch_solves;
     basis_valid_ = false;
+    farkas_valid_ = false;
     iterations_ = 0;
     Solution out;
     if (m_ == 0) return solve_unconstrained();
@@ -246,6 +255,10 @@ class EngineImpl {
         return out;
       }
       if (phase1_objective() > 1e-7) {
+        // Phase-1 optimality with a positive artificial sum: the phase-1
+        // duals y1 = B^{-T} c1_B are the Farkas ray (sup over the boxes of
+        // (y1'A)'x equals -phase1_objective < 0; see capture_farkas).
+        capture_farkas(btran_cost(/*phase1=*/true), +1.0);
         out.status = SolveStatus::kInfeasible;
         out.iterations = iterations_;
         return out;
@@ -261,6 +274,7 @@ class EngineImpl {
 
   Solution reoptimize() {
     if (!basis_valid_) return solve_from_scratch();
+    farkas_valid_ = false;
     iterations_ = 0;
 
     // Publish the current structural bounds into the working arrays.
@@ -932,7 +946,15 @@ class EngineImpl {
         for (const int j : touched_) consider(j, alpha_[idx(j)]);
         clear_alpha();
       }
-      if (entering < 0) return SolveStatus::kInfeasible;  // dual unbounded
+      if (entering < 0) {
+        // Dual unbounded = primal infeasible. Row `leave` of B^{-1} (sign
+        // flipped for a below-lower violation) is the Farkas ray: no
+        // nonbasic column can move to repair the violated basic bound, so
+        // the ray's box supremum stays short of feasibility by at least
+        // the violation itself.
+        capture_farkas(basis_row(leave), below ? -1.0 : +1.0);
+        return SolveStatus::kInfeasible;
+      }
 
       std::vector<double> w = ftran(entering);
       const double pivot = w[static_cast<std::size_t>(leave)];
@@ -978,6 +1000,41 @@ class EngineImpl {
       ++iterations_;
       if (!maintain_basis(since_refactor)) return SolveStatus::kNumericFailure;
     }
+  }
+
+  /// Validate and store a Farkas certificate from a row dual ray `rho`:
+  /// z_j = sign * rho'A_j over the real (structural + logical) columns.
+  /// The certificate is held only when the box supremum of z'x is negative
+  /// by a real margin; otherwise the ray is discarded as numeric noise.
+  /// Artificial columns are excluded: a real solution always extends with
+  /// every artificial at zero, so they contribute nothing to z'x = 0, and
+  /// after retire_artificials() their boxes are pinned to [0, 0] anyway.
+  void capture_farkas(const std::vector<double>& rho, double sign) {
+    farkas_valid_ = false;
+    const int nm = n_ + m_;
+    farkas_z_.assign(static_cast<std::size_t>(nm), 0.0);
+    double sup = 0.0;
+    for (int j = 0; j < nm; ++j) {
+      double a = 0.0;
+      for (const auto& [row, coef] : cols_[idx(j)]) {
+        a += rho[static_cast<std::size_t>(row)] * coef;
+      }
+      const double zj = sign * a;
+      if (zj == 0.0) continue;
+      const double bnd = zj > 0.0 ? up_[idx(j)] : lo_[idx(j)];
+      if (bnd == kInf || bnd == -kInf) {
+        // Basic and free columns carry only numeric noise here (their
+        // reduced weight is zero in exact arithmetic); a real weight on an
+        // infinite bound means the ray does not certify anything.
+        if (std::abs(zj) <= 1e-9) continue;
+        return;
+      }
+      farkas_z_[idx(j)] = zj;
+      sup += zj * bnd;
+    }
+    if (sup >= -1e-9) return;
+    farkas_margin_ = -sup;
+    farkas_valid_ = true;
   }
 
   // ---- shared linear algebra -------------------------------------------------
@@ -1269,6 +1326,11 @@ class EngineImpl {
   BasisFactor factor_;        // sparse LU + eta file
   bool basis_valid_ = false;
 
+  // Farkas certificate of the last infeasible solve (see capture_farkas).
+  std::vector<double> farkas_z_;
+  double farkas_margin_ = 0.0;
+  bool farkas_valid_ = false;
+
   long iterations_ = 0;
   long max_iter_ = 0;
   SimplexEngine::Stats stats_;
@@ -1338,6 +1400,9 @@ bool SimplexEngine::tableau_row(int i, std::vector<double>& alpha) {
 }
 bool SimplexEngine::reduced_costs(std::vector<double>& d) {
   return impl_->reduced_costs(d);
+}
+bool SimplexEngine::farkas_ray(std::vector<double>& z, double& margin) const {
+  return impl_->farkas_ray(z, margin);
 }
 void SimplexEngine::add_constraint(const std::vector<Term>& terms, double lo,
                                    double up) {

@@ -95,6 +95,27 @@ class SimplexEngine {
   /// warm-start basis: the next solve runs from scratch.
   void add_constraint(const std::vector<Term>& terms, double lo, double up);
 
+  // ---- infeasibility certificates -------------------------------------------
+  //
+  // When a solve proves infeasibility, the engine keeps the Farkas dual ray
+  // it detected it with, aggregated into per-column weights z_j = y'A_j
+  // over the n + m structural + logical columns. Because the engine's rows
+  // read a'x - s = 0, every x satisfying the rows has z'x = 0 exactly —
+  // while sup { z'x : current boxes } < 0, so the current bound box admits
+  // no feasible point. The only bounds the proof leans on are the upper
+  // bounds of columns with z_j > 0 and the lower bounds of columns with
+  // z_j < 0; branch & bound reduces the ray against its branching
+  // decisions to a minimal 0/1 nogood this way (DESIGN.md §4g).
+
+  /// Farkas certificate of the last solve. Fills `z` (size
+  /// num_structural() + num_rows()) and `margin` = -sup{z'x : boxes} > 0,
+  /// and returns true, when the last solve returned kInfeasible and the
+  /// captured ray passed its numeric sanity margin; returns false
+  /// otherwise (no proof of infeasibility is held, or the ray was too
+  /// noisy to certify — callers must treat that as "no certificate", not
+  /// as feasibility).
+  [[nodiscard]] bool farkas_ray(std::vector<double>& z, double& margin) const;
+
   /// Full two-phase primal solve, discarding any existing basis.
   [[nodiscard]] Solution solve_from_scratch();
 

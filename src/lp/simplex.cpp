@@ -25,4 +25,17 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   return engine.solve_from_scratch();
 }
 
+double box_support(const std::vector<double>& z, const std::vector<double>& lo,
+                   const std::vector<double>& up) {
+  double sup = 0.0;
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    const double zj = z[j];
+    if (zj == 0.0) continue;
+    const double bnd = zj > 0.0 ? up[j] : lo[j];
+    if (bnd == kInf || bnd == -kInf) return kInf;
+    sup += zj * bnd;
+  }
+  return sup;
+}
+
 }  // namespace archex::lp

@@ -100,4 +100,13 @@ struct Solution {
 [[nodiscard]] Solution solve(const Problem& problem,
                              const SimplexOptions& options = {});
 
+/// Supremum of a weighted sum over a box: sup { z'x : lo <= x <= up }
+/// (+infinity as soon as a nonzero weight meets an infinite bound on the
+/// side it leans on). This is the validity check for a Farkas certificate
+/// (SimplexEngine::farkas_ray): every x satisfying the engine's rows has
+/// z'x = 0, so a negative supremum proves the box holds no feasible point.
+[[nodiscard]] double box_support(const std::vector<double>& z,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& up);
+
 }  // namespace archex::lp

@@ -317,6 +317,115 @@ TEST(IlpDifferential, CutAndBranchConfigsAgreeWithPlainSearch) {
   }
 }
 
+// ---- conflict-learning differentials -------------------------------------------
+
+/// Nogood learning (DESIGN.md §4g) must never change *what* is found:
+/// learning-on agrees with learning-off on status and objective serially
+/// and under the work-stealing search, and the deterministic 4-thread mode
+/// stays bit-for-bit identical to the serial search with learning active
+/// (the shared store is synced at dive boundaries, never mid-dive).
+TEST(IlpDifferential, LearningAgreesWithLearningOffOn240Instances) {
+  Rng rng(0x1ea5e900d5ULL);
+  constexpr int kInstances = 240;
+  long learned_total = 0;
+  for (int i = 0; i < kInstances; ++i) {
+    const Model m = make_random_model(rng);
+
+    BranchAndBoundOptions off;
+    off.learning = false;
+    const IlpResult base = BranchAndBoundSolver(off).solve(m);
+    ASSERT_TRUE(base.status == IlpStatus::kOptimal ||
+                base.status == IlpStatus::kInfeasible)
+        << "instance " << i;
+
+    for (const int threads : {1, 4}) {
+      BranchAndBoundOptions on;
+      on.learning = true;
+      on.threads = threads;
+      const IlpResult r = BranchAndBoundSolver(on).solve(m);
+      learned_total += r.nogoods_learned;
+      ASSERT_EQ(base.status, r.status)
+          << "instance " << i << " threads=" << threads;
+      if (base.optimal()) {
+        ASSERT_NEAR(base.objective, r.objective, 1e-6)
+            << "instance " << i << " threads=" << threads;
+        ASSERT_TRUE(m.is_feasible(r.x, 1e-5))
+            << "instance " << i << " threads=" << threads;
+      }
+    }
+
+    // Deterministic 4-thread with learning == serial with learning,
+    // bit-for-bit (counts, objective, assignment — and the learning
+    // counters themselves, since the store evolves identically).
+    BranchAndBoundOptions sopt;
+    sopt.learning = true;
+    const IlpResult s = BranchAndBoundSolver(sopt).solve(m);
+    BranchAndBoundOptions dopt = sopt;
+    dopt.threads = 4;
+    dopt.deterministic = true;
+    const IlpResult d = BranchAndBoundSolver(dopt).solve(m);
+    ASSERT_EQ(s.status, d.status) << "instance " << i;
+    EXPECT_EQ(s.nodes_explored, d.nodes_explored) << "instance " << i;
+    EXPECT_EQ(s.nodes_pruned, d.nodes_pruned) << "instance " << i;
+    EXPECT_EQ(s.nogoods_learned, d.nogoods_learned) << "instance " << i;
+    EXPECT_EQ(s.nogood_prunings, d.nogood_prunings) << "instance " << i;
+    if (s.optimal()) {
+      EXPECT_EQ(s.objective, d.objective) << "instance " << i;
+      EXPECT_EQ(s.x, d.x) << "instance " << i;
+    }
+  }
+  // The differential is vacuous unless conflicts were actually learned.
+  EXPECT_GE(learned_total, 100);
+}
+
+// ---- reduced-cost fixing regression --------------------------------------------
+
+/// Reduced-cost fixing is derived outside the incumbent lock from the
+/// atomic bound (see try_accept_incumbent): a fixing computed against a
+/// stale — higher — cutoff satisfies a harder condition, so it can never
+/// cut off the optimum. Pin that on an instance where the fixing provably
+/// fires: an expensive variable the root LP prices far above the gap.
+TEST(IlpDifferential, RcFixingFromStaleIncumbentKeepsTheOptimum) {
+  Model m;
+  std::vector<Var> xs;
+  for (int j = 0; j < 6; ++j) {
+    xs.push_back(m.add_binary("x" + std::to_string(j)));
+  }
+  // 2·Σx >= 3 forces a fractional root (x = 1/2 vertex) and an integral
+  // optimum of two variables; the last variable is priced so far above the
+  // others that root_bound + |d| clears any reachable cutoff.
+  LinExpr row;
+  for (Var v : xs) row.add_term(v, 2.0);
+  m.add_row(row >= 3.0);
+  LinExpr obj;
+  const double costs[] = {1.1, 1.2, 1.3, 1.4, 1.5, 10.0};
+  for (std::size_t j = 0; j < xs.size(); ++j) obj.add_term(xs[j], costs[j]);
+  m.set_objective(obj);
+
+  BranchAndBoundOptions serial;  // rc_fixing defaults on
+  const IlpResult s = BranchAndBoundSolver(serial).solve(m);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.3, 1e-9);
+  EXPECT_GT(s.rc_fixings, 0);
+
+  // The fixing must be outcome-neutral in every execution mode, including
+  // the racy free-running pool where incumbents republish concurrently.
+  for (const bool deterministic : {true, false}) {
+    BranchAndBoundOptions popt;
+    popt.threads = 4;
+    popt.deterministic = deterministic;
+    const IlpResult p = BranchAndBoundSolver(popt).solve(m);
+    ASSERT_EQ(p.status, IlpStatus::kOptimal)
+        << "deterministic=" << deterministic;
+    EXPECT_NEAR(p.objective, 2.3, 1e-9)
+        << "deterministic=" << deterministic;
+    if (deterministic) {
+      EXPECT_EQ(s.nodes_explored, p.nodes_explored);
+      EXPECT_EQ(s.x, p.x);
+    }
+  }
+}
+
 /// Every separated cut must be valid: satisfied by *every* integer-feasible
 /// point of the instance (brute-forced over the full 0/1 hypercube), while
 /// genuinely cutting off the fractional LP optimum it was separated at.
