@@ -1,0 +1,223 @@
+// bench_server — load-test of the archex_server front end over loopback.
+//
+// Two experiments, written to BENCH_server.json:
+//
+//  * "throughput": several client threads pipeline solve requests over two
+//    repeated template families through a shared server. Reports requests/s,
+//    client-observed p50/p99 latency, and the process-lifetime cache hit
+//    rate — a rate > 0 on families the clients did not warm themselves is
+//    the cross-request-reuse claim of DESIGN.md §5.
+//
+//  * "overload": a one-worker, one-slot-queue server under a burst of
+//    simultaneous clients while a deadline-bounded slow request occupies
+//    the worker. Reports how many requests admission control shed versus
+//    queued-and-completed.
+//
+// Usage: bench_server [--out BENCH_server.json] [--clients N] [--requests N]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/serialize.hpp"
+#include "server/solve_server.hpp"
+#include "support/socket.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace archex;
+
+core::SolveRequest eps_request(const std::string& id, int generators,
+                               double target) {
+  core::SolveRequest request;
+  request.id = id;
+  request.mode = core::SolveMode::kMr;
+  request.eps_generators = generators;
+  request.target_failure = target;
+  return request;
+}
+
+core::SolveResponse exchange(support::TcpStream& stream,
+                             const core::SolveRequest& request) {
+  stream.write_line(core::to_json(request));
+  std::string line;
+  if (!stream.read_line(line)) {
+    throw support::SocketError("server closed the connection mid-exchange");
+  }
+  return core::response_from_json(line);
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+json::Value throughput_experiment(int num_clients, int requests_each) {
+  server::SolveServerOptions options;
+  options.workers = num_clients;
+  server::SolveServer server(options);
+  server.start();
+
+  // Two problem families, alternated per request: every client after the
+  // first request benefits from evaluations (and learned nogoods) the other
+  // clients produced.
+  const std::vector<double> targets = {1e-4, 1e-5};
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(num_clients));
+  std::atomic<int> failures{0};
+  Stopwatch wall;
+  wall.start();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      support::TcpStream stream =
+          support::TcpStream::connect("127.0.0.1", server.port());
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(requests_each));
+      for (int r = 0; r < requests_each; ++r) {
+        const std::string id =
+            "c" + std::to_string(c) + "-r" + std::to_string(r);
+        const double target =
+            targets[static_cast<std::size_t>(r) % targets.size()];
+        Stopwatch watch;
+        watch.start();
+        const core::SolveResponse response =
+            exchange(stream, eps_request(id, 1, target));
+        watch.stop();
+        mine.push_back(watch.elapsed_seconds());
+        if (response.status != "unfeasible") failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  wall.stop();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const rel::EvalCache::Stats cache = server.service().cache().stats();
+  const std::size_t families = server.service().nogood_families();
+  server.stop();
+
+  const double total = static_cast<double>(all.size());
+  const double throughput =
+      wall.elapsed_seconds() > 0.0 ? total / wall.elapsed_seconds() : 0.0;
+  std::printf("throughput: %d clients x %d requests, %.0f req/s, "
+              "p50 %.2f ms, p99 %.2f ms, cache %.1f%% hits, %zu families\n",
+              num_clients, requests_each, throughput,
+              1e3 * percentile(all, 50.0), 1e3 * percentile(all, 99.0),
+              100.0 * cache.hit_rate(), families);
+
+  json::Object o;
+  o["clients"] = static_cast<long long>(num_clients);
+  o["requests_per_client"] = static_cast<long long>(requests_each);
+  o["unexpected_statuses"] = static_cast<long long>(failures.load());
+  o["wall_seconds"] = wall.elapsed_seconds();
+  o["requests_per_second"] = throughput;
+  o["latency_p50_ms"] = 1e3 * percentile(all, 50.0);
+  o["latency_p99_ms"] = 1e3 * percentile(all, 99.0);
+  o["cache_hits"] = static_cast<long long>(cache.hits);
+  o["cache_misses"] = static_cast<long long>(cache.misses);
+  o["cache_hit_rate"] = cache.hit_rate();
+  o["nogood_families"] = static_cast<long long>(families);
+  return json::Value(std::move(o));
+}
+
+json::Value overload_experiment(int burst) {
+  server::SolveServerOptions options;
+  options.workers = 1;
+  options.max_queue = 1;
+  server::SolveServer server(options);
+  server.start();
+
+  // Pin the single worker down for about a second (the deadline bounds the
+  // solve, so the experiment's duration is independent of build flavor).
+  core::SolveRequest slow = eps_request("slow", 3, 1e-8);
+  slow.deadline_seconds = 1.0;
+  support::TcpStream slow_client =
+      support::TcpStream::connect("127.0.0.1", server.port());
+  slow_client.write_line(core::to_json(slow));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  std::atomic<int> rejected{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(burst));
+  for (int c = 0; c < burst; ++c) {
+    clients.emplace_back([&, c] {
+      support::TcpStream stream =
+          support::TcpStream::connect("127.0.0.1", server.port());
+      const core::SolveResponse response =
+          exchange(stream, eps_request("burst-" + std::to_string(c), 1, 1e-4));
+      if (response.status == "rejected") {
+        rejected.fetch_add(1);
+      } else {
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::string line;
+  (void)slow_client.read_line(line);  // drain the slow request's response
+
+  const server::SolveServer::Stats stats = server.stats();
+  server.stop();
+
+  std::printf("overload: burst of %d against 1 worker / queue 1: "
+              "%d shed, %d completed\n",
+              burst, rejected.load(), completed.load());
+
+  json::Object o;
+  o["burst"] = static_cast<long long>(burst);
+  o["workers"] = 1LL;
+  o["max_queue"] = 1LL;
+  o["shed"] = static_cast<long long>(rejected.load());
+  o["completed"] = static_cast<long long>(completed.load());
+  o["server_shed_counter"] = static_cast<long long>(stats.shed);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_server.json";
+  int num_clients = 4;
+  int requests_each = 25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (flag == "--clients" && i + 1 < argc) {
+      num_clients = std::stoi(argv[++i]);
+    } else if (flag == "--requests" && i + 1 < argc) {
+      requests_each = std::stoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--out FILE] [--clients N] "
+                   "[--requests N]\n");
+      return 2;
+    }
+  }
+
+  json::Object section;
+  section["throughput"] = throughput_experiment(num_clients, requests_each);
+  section["overload"] = overload_experiment(8);
+  if (!archex::bench::write_bench_section(out, "server",
+                                          json::Value(std::move(section)))) {
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (section \"server\")\n", out.c_str());
+  return 0;
+}

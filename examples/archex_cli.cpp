@@ -133,7 +133,8 @@ core::Template load_template(const Args& a) {
     return std::move(eps::make_eps_template(spec).tmpl);
   }
   if (!a.template_file.empty()) {
-    return core::template_from_json(read_file(a.template_file));
+    return core::template_from_json(read_file(a.template_file),
+                                    a.template_file);
   }
   usage("provide --eps N or --template F");
 }
@@ -246,7 +247,8 @@ int cmd_analyze(const Args& a) {
   const core::Template tmpl = load_template(a);
   if (a.config_file.empty()) usage("analyze needs --config");
   const core::Configuration config =
-      core::configuration_from_json(tmpl, read_file(a.config_file));
+      core::configuration_from_json(tmpl, read_file(a.config_file),
+                                    a.config_file);
 
   std::printf("architecture: %s\n", config.summary().c_str());
   const graph::Digraph g = config.analysis_graph();
@@ -321,6 +323,11 @@ int main(int argc, char** argv) {
     if (a.command == "analyze") return cmd_analyze(a);
     if (a.command == "export") return cmd_export(a);
     usage(("unknown command " + a.command).c_str());
+  } catch (const core::SpecError& e) {
+    // One line: file (or request source), JSON path, reason — the same
+    // diagnostic shape the archex_server returns for bad wire requests.
+    std::fprintf(stderr, "spec error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

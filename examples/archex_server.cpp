@@ -1,0 +1,110 @@
+// archex_server — long-lived multi-tenant solve service.
+//
+// Listens on a TCP port for line-delimited JSON solve requests
+// ("archex-request" documents, core/serialize.hpp) and answers each with
+// one "archex-response" line. Requests from all clients share one
+// process-lifetime reliability cache and per-problem-family learned-nogood
+// stores, so repeated requests over the same template family get faster.
+//
+//   archex_server [--port P] [--threads N] [--max-queue Q] [--no-learning]
+//                 [--deadline S] [--solver-threads N]
+//
+// SIGTERM / SIGINT drain gracefully: in-flight requests finish and their
+// responses are written before the process exits.
+//
+// Smoke test:
+//   archex_server --port 7750 &
+//   printf '%s\n' '{"format":"archex-request","version":1,"id":"r1",
+//     "mode":"mr","eps_generators":1,"target_failure":1e-4}' | nc 127.0.0.1 7750
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "server/solve_server.hpp"
+#include "support/socket.hpp"
+
+namespace {
+
+using namespace archex;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n", error);
+  std::fprintf(stderr, R"(usage: archex_server [options]
+
+  --port P            TCP port to listen on (default 7750; 0 picks a free one)
+  --threads N         concurrent solve workers (default 2)
+  --max-queue Q       queued-request bound before load shedding (default 16)
+  --deadline S        default per-request budget in seconds (default 60)
+  --solver-threads N  per-request solver thread cap (default 0 = serial)
+  --no-learning       disable cross-request nogood persistence and solver
+                      conflict learning
+)");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::SolveServerOptions options;
+  options.port = 7750;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--port") {
+      options.port = static_cast<std::uint16_t>(std::stoi(value()));
+    } else if (flag == "--threads") {
+      options.workers = std::stoi(value());
+    } else if (flag == "--max-queue") {
+      options.max_queue = std::stoi(value());
+    } else if (flag == "--deadline") {
+      options.service.default_deadline_seconds = std::stod(value());
+    } else if (flag == "--solver-threads") {
+      options.service.max_solver_threads = std::stoi(value());
+    } else if (flag == "--no-learning") {
+      options.service.learning = false;
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+
+  const volatile std::sig_atomic_t* shutdown =
+      support::install_shutdown_signal_flag();
+
+  server::SolveServer server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "archex_server: %s\n", e.what());
+    return 1;
+  }
+  std::printf("archex_server listening on port %u (%d workers, queue %d, "
+              "learning %s)\n",
+              server.port(), options.workers, options.max_queue,
+              options.service.learning ? "on" : "off");
+  std::fflush(stdout);
+
+  while (*shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("archex_server: draining...\n");
+  std::fflush(stdout);
+  server.stop();
+
+  const server::SolveServer::Stats stats = server.stats();
+  const rel::EvalCache::Stats cache = server.service().cache().stats();
+  std::printf("archex_server: served %ld requests over %ld connections "
+              "(%ld shed, %ld malformed); cache %.1f%% hits, %zu entries; "
+              "%zu nogood families\n",
+              stats.requests, stats.connections, stats.shed, stats.malformed,
+              100.0 * cache.hit_rate(), cache.size,
+              server.service().nogood_families());
+  return 0;
+}

@@ -145,7 +145,7 @@ IlpArReport run_ilp_ar(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
 
   Configuration config = ilp.extract(result);
   report.approx_failure = config.worst_approximate_failure();
-  const rel::EvalContext ctx{options.cache, options.pool, {}};
+  const rel::EvalContext ctx{options.cache, options.pool, options.deadline};
   report.exact_failure = config.worst_failure_probability(ctx, options.method);
   report.status = SynthesisStatus::kSuccess;
   report.configuration = std::move(config);

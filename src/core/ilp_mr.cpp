@@ -230,9 +230,15 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   if (options.unified_learning) {
     if (auto* bnb = dynamic_cast<ilp::BranchAndBoundSolver*>(&solver);
         bnb != nullptr && bnb->options().learning) {
-      ilp::NogoodStoreOptions store_opt;
-      store_opt.max_nogoods = bnb->options().max_nogoods;
-      store = std::make_shared<ilp::NogoodStore>(store_opt);
+      if (options.store != nullptr) {
+        // Caller-persisted store (e.g. the archex_server's per-family
+        // registry): oracle nogoods from earlier runs prune this one.
+        store = options.store;
+      } else {
+        ilp::NogoodStoreOptions store_opt;
+        store_opt.max_nogoods = bnb->options().max_nogoods;
+        store = std::make_shared<ilp::NogoodStore>(store_opt);
+      }
       bnb->set_nogood_store(store);
     }
   }
@@ -244,6 +250,7 @@ IlpMrReport run_ilp_mr(ArchitectureIlp& ilp, ilp::IlpSolver& solver,
   rel::EvalContext ctx;
   ctx.cache = options.cache != nullptr ? options.cache : &local_cache;
   ctx.pool = options.pool;
+  ctx.deadline = options.deadline;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     solver_watch.start();

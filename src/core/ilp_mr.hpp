@@ -73,6 +73,17 @@ struct IlpMrOptions {
   rel::EvalCache* cache = nullptr;
   /// Optional worker pool for the factoring analyzer.
   support::ThreadPool* pool = nullptr;
+  /// External nogood store to install instead of the run-private one
+  /// unified_learning would otherwise create (requires a learning
+  /// BranchAndBoundSolver, like unified_learning itself). Lets a long-lived
+  /// caller persist oracle nogoods across runs over the same problem family
+  /// — see NogoodStoreRegistry; the caller is responsible for purging
+  /// non-oracle entries before reuse.
+  std::shared_ptr<ilp::NogoodStore> store;
+  /// Absolute deadline for the RELANALYSIS calls; an analysis that overruns
+  /// it aborts with rel::TimeoutError. The ILP side enforces its own budget
+  /// via BranchAndBoundOptions::deadline. Unset = no analysis deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// One row of the per-iteration trace (Fig. 2 of the paper).

@@ -27,6 +27,7 @@ ParetoFrontier sweep_pareto_frontier(
     ar.cache = options.cache != nullptr ? options.cache : &local_cache;
     ar.pool = options.pool;
     ar.method = options.method;
+    ar.deadline = options.deadline;
     IlpArReport report = run_ilp_ar(ilp, solver, ar);
     frontier.solver_nodes += report.solver_nodes;
     frontier.solver_steals += report.solver_steals;

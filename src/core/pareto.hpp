@@ -49,6 +49,8 @@ struct ParetoOptions {
   support::ThreadPool* pool = nullptr;
   /// Exact analyzer used to score each sweep point (forwarded to ILP-AR).
   rel::ExactMethod method = rel::ExactMethod::kFactoring;
+  /// Absolute deadline forwarded to each ILP-AR run's exact evaluation.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct ParetoFrontier {

@@ -972,7 +972,7 @@ class Worker {
       sh_.abort_with(IlpStatus::kNodeLimit);
       return;
     }
-    if (sh_.watch.elapsed_seconds() > sh_.opt.time_limit_seconds) {
+    if (std::chrono::steady_clock::now() >= sh_.deadline) {
       sh_.abort_with(IlpStatus::kTimeLimit);
       return;
     }
@@ -1209,7 +1209,7 @@ void run_cut_phase(SearchShared& sh, long& lp_pivots) {
   std::unordered_set<std::uint64_t> seen;  // round-local dedup
   long rounds = 0;
   for (int round = 0; round < sh.opt.max_cut_rounds; ++round) {
-    if (sh.watch.elapsed_seconds() > sh.opt.time_limit_seconds) break;
+    if (std::chrono::steady_clock::now() >= sh.deadline) break;
     const std::vector<double> full_x = sh.pre.postsolve(rel.x);
     if (select_branch_variable(sh.model, sh.integral, sh.opt.int_tol, full_x,
                                nullptr, 0)
@@ -1272,6 +1272,11 @@ IlpResult run_search(const Model& model, const BranchAndBoundOptions& opt,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(opt.time_limit_seconds));
+  // A caller-supplied absolute deadline tightens (never extends) the
+  // relative budget: whichever expires first governs the whole search.
+  if (opt.deadline && *opt.deadline < shared.deadline) {
+    shared.deadline = *opt.deadline;
+  }
 
   const int threads = std::max(opt.threads, 1);
   const bool parallel = threads >= 2;

@@ -96,6 +96,16 @@ void NogoodStore::purge_transient() {
   }
 }
 
+void NogoodStore::purge_non_oracle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.dead || entry.nogood.source == NogoodSource::kOracle) continue;
+    kill_entry(i);
+    ++stats_.purged;
+  }
+}
+
 void NogoodStore::snapshot(std::vector<std::pair<int, Nogood>>& out) const {
   out.clear();
   std::lock_guard<std::mutex> lock(mu_);
@@ -148,6 +158,25 @@ void NogoodStore::evict_locked() {
     kill_entry(victims[k].second);
     ++stats_.evicted;
   }
+}
+
+std::shared_ptr<NogoodStore> NogoodStoreRegistry::acquire(std::uint64_t key) {
+  std::shared_ptr<NogoodStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = stores_[key];
+    if (!slot) slot = std::make_shared<NogoodStore>(opt_);
+    store = slot;
+  }
+  // Outside the registry lock: the purge takes the store's own mutex and
+  // may do per-entry work proportional to the store size.
+  store->purge_non_oracle();
+  return store;
+}
+
+std::size_t NogoodStoreRegistry::families() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_.size();
 }
 
 }  // namespace archex::ilp

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,15 @@ class NogoodStore {
   /// into a solve with a fresh (or reset) incumbent. Call at solve start.
   void purge_transient();
 
+  /// Drop everything except kOracle entries. Oracle nogoods record "the
+  /// reliability analysis rejected this exact selection against this
+  /// requirement" — a pure function of template and target, valid for any
+  /// future request over the same pair. kInfeasible entries are NOT: they
+  /// were minimized against iteration-k models whose learncons rows a fresh
+  /// request's base model lacks. Call before reusing a persisted store for
+  /// a new request (NogoodStoreRegistry does this).
+  void purge_non_oracle();
+
   /// Copy the live entries with their stable indices (solve-start compile).
   void snapshot(std::vector<std::pair<int, Nogood>>& out) const;
 
@@ -134,6 +144,32 @@ class NogoodStore {
   std::unordered_map<std::uint64_t, int> index_;
   int live_ = 0;
   Stats stats_;
+};
+
+/// Process-lifetime map from an opaque problem-family key to its persistent
+/// NogoodStore, so a long-lived service reuses oracle-learned conflicts
+/// across requests over the same synthesis problem. The caller owns the key
+/// semantics (the archex_server keys by template signature mixed with the
+/// solve mode and reliability target, which together pin the variable
+/// numbering and the oracle predicate). acquire() purges every non-oracle
+/// entry before handing the store out — see NogoodStore::purge_non_oracle()
+/// for why only oracle entries survive a model reset. Thread-safe.
+class NogoodStoreRegistry {
+ public:
+  explicit NogoodStoreRegistry(NogoodStoreOptions options = {})
+      : opt_(options) {}
+
+  /// Fetch (creating on first use) the store for `key`, purged down to its
+  /// oracle entries and ready for a fresh request's base model.
+  [[nodiscard]] std::shared_ptr<NogoodStore> acquire(std::uint64_t key);
+
+  /// Number of distinct problem families seen.
+  [[nodiscard]] std::size_t families() const;
+
+ private:
+  NogoodStoreOptions opt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<NogoodStore>> stores_;
 };
 
 }  // namespace archex::ilp

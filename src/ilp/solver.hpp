@@ -9,7 +9,9 @@
 //                           models (ablation baseline, bench_solver_ablation).
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -114,6 +116,12 @@ class IlpSolver {
 struct BranchAndBoundOptions {
   long max_nodes = 2'000'000;
   double time_limit_seconds = 600.0;
+  /// Absolute wall-clock deadline, clamped against time_limit_seconds (the
+  /// effective budget is whichever expires first). Lets a caller that runs
+  /// many solves under one request-level deadline (the archex_server) hand
+  /// the remaining budget to every solve without re-deriving per-solve
+  /// relative limits. Unset = time_limit_seconds alone governs.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Worker threads exploring the tree. 0 (and 1) selects the serial
   /// depth-first search, preserving the historical node order and
   /// determinism exactly. With >= 2 the search runs a best-first/DFS

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <memory>
 
 namespace archex::rel {
 
@@ -34,38 +35,60 @@ std::uint64_t EvalKey::hash() const {
   return h;
 }
 
+EvalCache::EvalCache(std::size_t max_entries, int num_shards)
+    : max_entries_(max_entries) {
+  int count = 1;
+  while (count < num_shards && count < 256) count <<= 1;
+  shards_.reserve(static_cast<std::size_t>(count));
+  for (int s = 0; s < count; ++s) shards_.push_back(std::make_unique<Shard>());
+  shard_mask_ = static_cast<std::uint64_t>(count - 1);
+  const int bits = std::countr_zero(static_cast<unsigned>(count));
+  shard_shift_ = bits == 0 ? 0 : 64 - bits;  // a 64-bit shift would be UB
+}
+
 std::optional<double> EvalCache::lookup(const EvalKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& shard = shard_for(key.hash());
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
+  ++shard.hits;
   return it->second;
 }
 
 void EvalCache::store(const EvalKey& key, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= max_entries_ && !entries_.contains(key)) {
-    ++rejected_;
+  Shard& shard = shard_for(key.hash());
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (total_entries_.load(std::memory_order_relaxed) >= max_entries_ &&
+      !shard.entries.contains(key)) {
+    ++shard.rejected;
     return;
   }
-  entries_.try_emplace(key, value);
+  if (shard.entries.try_emplace(key, value).second) {
+    total_entries_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void EvalCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total_entries_.fetch_sub(shard->entries.size(),
+                             std::memory_order_relaxed);
+    shard->entries.clear();
+  }
 }
 
 EvalCache::Stats EvalCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
   Stats out;
-  out.hits = hits_;
-  out.misses = misses_;
-  out.rejected = rejected_;
-  out.size = entries_.size();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.rejected += shard->rejected;
+    out.size += shard->entries.size();
+  }
   return out;
 }
 

@@ -14,13 +14,22 @@
 // the stored value is bit-identical to what any later evaluation of the same
 // canonical form would compute (see DESIGN.md, determinism contract).
 //
-// Thread safety: lookups and stores take a mutex, so one cache can back a
-// parallel factoring run or be shared across pool tasks. Values are pure
-// functions of their keys; racing writers store identical bits, making the
-// first-writer-wins policy harmless.
+// Thread safety and sharding: the table is split into a fixed power-of-two
+// number of independently locked shards selected by the top bits of the
+// structural key hash (the bottom bits index buckets inside the shard's
+// map, so shard choice and bucket choice stay uncorrelated). Concurrent
+// lookups/stores only contend when they land on the same shard, so one
+// process-lifetime cache can back many parallel solves (the archex_server
+// serving path) without the former single mutex becoming the concurrency
+// ceiling. Values are pure functions of their keys; racing writers store
+// identical bits, making the first-writer-wins policy harmless — and making
+// results independent of the shard count (pinned by the sharded-vs-single-
+// lock differential in tests/eval_cache_test.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -45,11 +54,19 @@ struct EvalKey {
 
 class EvalCache {
  public:
+  /// Default shard count: enough stripes that a handful of solver workers
+  /// rarely collide, small enough that stats aggregation stays cheap.
+  static constexpr int kDefaultShards = 16;
+
   /// `max_entries` bounds memory: stores beyond it are dropped (counted in
   /// stats().rejected) rather than evicting, because synthesis workloads
-  /// revisit early iterates far more often than late ones.
-  explicit EvalCache(std::size_t max_entries = 1u << 20)
-      : max_entries_(max_entries) {}
+  /// revisit early iterates far more often than late ones. The cap is
+  /// global across shards (tracked by a shared atomic), so shard count
+  /// never changes capacity semantics. `num_shards` is rounded up to a
+  /// power of two and clamped to [1, 256]; 1 reproduces the historical
+  /// single-lock table exactly (the differential-testing baseline).
+  explicit EvalCache(std::size_t max_entries = 1u << 20,
+                     int num_shards = kDefaultShards);
 
   /// The cached value for `key`, or nullopt. Updates hit/miss counters.
   [[nodiscard]] std::optional<double> lookup(const EvalKey& key);
@@ -60,6 +77,11 @@ class EvalCache {
   /// Drop every entry (invalidation). Counters survive so observability
   /// spans invalidation boundaries; size() resets to 0.
   void clear();
+
+  /// Number of lock stripes the table actually runs with.
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shards_.size());
+  }
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -73,6 +95,9 @@ class EvalCache {
                                     static_cast<double>(total);
     }
   };
+  /// Aggregated over all shards. Counters from different shards are read
+  /// under their own locks, so concurrent updates can make the totals
+  /// momentarily inconsistent with each other — fine for observability.
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -82,12 +107,27 @@ class EvalCache {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<EvalKey, double, KeyHash> entries_;
+  /// One lock stripe: a map plus its observability counters.
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<EvalKey, double, KeyHash> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
+    // Top bits: the map consumes the low bits for bucket placement.
+    return *shards_[(hash >> shard_shift_) & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;
+  int shard_shift_ = 0;
   std::size_t max_entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t rejected_ = 0;
+  /// Resident entries across shards; maintained under the owning shard's
+  /// lock, read lock-free by the capacity check.
+  std::atomic<std::size_t> total_entries_{0};
 };
 
 }  // namespace archex::rel

@@ -1,0 +1,74 @@
+// archex/server/solve_service.hpp
+//
+// Request execution for the archex_server (DESIGN.md §5): one SolveService
+// owns the process-lifetime cross-request state — the sharded reliability
+// EvalCache and the per-problem-family NogoodStoreRegistry — and turns one
+// validated SolveRequest into one SolveResponse. The service is
+// transport-free (no sockets) so tests and benches can drive it directly;
+// SolveServer layers the wire protocol, worker pool and admission control
+// on top.
+//
+// Thread safety: handle() may be called concurrently from any number of
+// workers. The shared cache is internally striped (rel/eval_cache.hpp), the
+// registry and every store are mutex-guarded, and everything else is
+// per-call state.
+#pragma once
+
+#include <cstdint>
+
+#include "core/serialize.hpp"
+#include "ilp/nogood.hpp"
+#include "rel/eval_cache.hpp"
+
+namespace archex::server {
+
+struct SolveServiceOptions {
+  /// Request budget when the envelope carries none (deadline_seconds <= 0).
+  double default_deadline_seconds = 60.0;
+  /// Hard ceiling on any request's budget (envelope values are clamped).
+  double max_deadline_seconds = 600.0;
+  /// Ceiling on the per-request solver thread budget (envelope `threads` is
+  /// clamped into [0, this]; 0 = serial search).
+  int max_solver_threads = 0;
+  /// Persist oracle nogoods across requests of the same problem family
+  /// (and keep solver-level conflict learning on). Off = every request
+  /// solves cold with learning disabled (--no-learning).
+  bool learning = true;
+  /// Shared reliability-cache geometry (rel/eval_cache.hpp).
+  std::size_t cache_entries = 1u << 20;
+  int cache_shards = rel::EvalCache::kDefaultShards;
+};
+
+/// Registry key of a request's problem family: the template signature mixed
+/// with the solve mode and the reliability target. Oracle nogoods are a
+/// pure function of (template, target) over the template's edge variables,
+/// and the mode pins the base encoding the variable numbering comes from —
+/// so equal keys guarantee the persisted entries apply verbatim.
+[[nodiscard]] std::uint64_t problem_family_key(const core::SolveRequest& req,
+                                               const core::Template& tmpl);
+
+class SolveService {
+ public:
+  explicit SolveService(SolveServiceOptions options = {});
+
+  /// Execute one request to completion (synchronously; the caller supplies
+  /// the concurrency). Never throws: every failure mode maps to a response
+  /// status ("time_limit", "unfeasible", "error", ...).
+  [[nodiscard]] core::SolveResponse handle(const core::SolveRequest& request);
+
+  [[nodiscard]] rel::EvalCache& cache() { return cache_; }
+  [[nodiscard]] const SolveServiceOptions& options() const {
+    return options_;
+  }
+  /// Distinct problem families with a persisted nogood store.
+  [[nodiscard]] std::size_t nogood_families() const {
+    return registry_.families();
+  }
+
+ private:
+  SolveServiceOptions options_;
+  rel::EvalCache cache_;
+  ilp::NogoodStoreRegistry registry_;
+};
+
+}  // namespace archex::server

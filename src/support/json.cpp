@@ -1,5 +1,6 @@
 #include "support/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -24,8 +25,24 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw JsonError("JSON parse error at offset " + std::to_string(pos_) +
-                    ": " + what);
+    // Recover the human position from the byte offset: wire requests and
+    // spec files arrive as one opaque string, so "line 3, column 14" is
+    // what makes a bad document debuggable.
+    const std::size_t at = std::min(pos_, text_.size());
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < at; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonParseError("JSON parse error at line " + std::to_string(line) +
+                             ", column " + std::to_string(column) +
+                             " (byte " + std::to_string(at) + "): " + what,
+                         line, column, at);
   }
 
   [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }

@@ -6,6 +6,7 @@
 // string, array, object), UTF-8 pass-through, standard escapes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -21,6 +22,27 @@ namespace archex::json {
 class JsonError : public Error {
  public:
   explicit JsonError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by parse() on malformed documents, carrying the error position so
+/// callers handling wire input (archex_server request lines, CLI spec
+/// files) can point at the offending byte. `line`/`column` are 1-based and
+/// count raw bytes (no UTF-8 column normalization); `byte` is the 0-based
+/// offset into the document.
+class JsonParseError : public JsonError {
+ public:
+  JsonParseError(const std::string& what, std::size_t line,
+                 std::size_t column, std::size_t byte)
+      : JsonError(what), line_(line), column_(column), byte_(byte) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+  [[nodiscard]] std::size_t byte() const { return byte_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+  std::size_t byte_;
 };
 
 class Value;

@@ -115,6 +115,92 @@ TEST(EvalCache, ClearInvalidatesEntriesButKeepsCounters) {
   EXPECT_EQ(*cache.lookup(sample_key()), 0.75);
 }
 
+// ---- sharded table vs single-lock table -------------------------------------
+
+TEST(EvalCacheSharding, ShardCountIsClampedPowerOfTwo) {
+  EXPECT_EQ(EvalCache(16, 1).num_shards(), 1);
+  EXPECT_EQ(EvalCache(16, 3).num_shards(), 4);
+  EXPECT_EQ(EvalCache(16, 16).num_shards(), 16);
+  EXPECT_EQ(EvalCache(16, 100000).num_shards(), 256);
+  EXPECT_EQ(EvalCache().num_shards(), EvalCache::kDefaultShards);
+}
+
+TEST(EvalCacheSharding, UnitBehaviourIdenticalAcrossShardCounts) {
+  for (const int shards : {1, 2, 16}) {
+    EvalCache cache(/*max_entries=*/2, shards);
+    cache.store(sample_key(0), 0.0);
+    cache.store(sample_key(1), 1.0);
+    cache.store(sample_key(2), 2.0);  // over the *global* cap: dropped
+    EXPECT_FALSE(cache.lookup(sample_key(2)).has_value()) << shards;
+    EXPECT_EQ(*cache.lookup(sample_key(0)), 0.0) << shards;
+    EXPECT_EQ(*cache.lookup(sample_key(1)), 1.0) << shards;
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.size, 2u) << shards;
+    EXPECT_EQ(stats.rejected, 1u) << shards;
+    EXPECT_EQ(stats.hits, 2u) << shards;
+    EXPECT_EQ(stats.misses, 1u) << shards;
+  }
+}
+
+// The regression guard for the archex_server refactor: on the randomized
+// DAG corpus of the PR 3 differential harness, factoring through a sharded
+// table must return bit-identical values to the historical single-lock
+// table (shards == 1), serial and parallel, cold and warm — results must be
+// a pure function of the key set, never of the lock layout.
+TEST(EvalCacheSharding, DifferentialShardedVsSingleLockOnRandomDags) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<double> p;
+    const Digraph g = random_dag(seed * 7919, 10, p);
+    const std::vector<NodeId> sources{0, 1};
+    const NodeId sink = g.num_nodes() - 1;
+
+    EvalCache single(1u << 20, /*num_shards=*/1);
+    EvalContext single_ctx;
+    single_ctx.cache = &single;
+    const double reference = failure_probability(g, sources, sink, p,
+                                                 single_ctx);
+
+    for (const int shards : {2, 16}) {
+      EvalCache sharded(1u << 20, shards);
+      EvalContext ctx;
+      ctx.cache = &sharded;
+      EXPECT_EQ(reference, failure_probability(g, sources, sink, p, ctx))
+          << "seed " << seed << " shards " << shards;  // cold serial
+      EXPECT_EQ(reference, failure_probability(g, sources, sink, p, ctx))
+          << "seed " << seed << " shards " << shards;  // warm serial
+      ctx.pool = &pool;
+      EXPECT_EQ(reference, failure_probability(g, sources, sink, p, ctx))
+          << "seed " << seed << " shards " << shards;  // warm parallel
+
+      // Same key set -> same resident subproblems, however they stripe.
+      EXPECT_EQ(sharded.stats().size, single.stats().size)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(EvalCacheSharding, ConcurrentMixedWorkloadStaysConsistent) {
+  // Many threads hammer one sharded cache with overlapping evaluations;
+  // every value read back must equal the serial reference (first-writer-
+  // wins stores identical bits). Exercised under TSan via the `parallel`
+  // and `server` labels.
+  std::vector<double> p;
+  const Digraph g = random_dag(4242, 10, p);
+  const std::vector<NodeId> sources{0, 1};
+  const NodeId sink = g.num_nodes() - 1;
+  const double reference = failure_probability(g, sources, sink, p);
+
+  EvalCache cache(1u << 20, 8);
+  ThreadPool pool(4);
+  pool.parallel_for(0, 16, [&](std::size_t) {
+    EvalContext ctx;
+    ctx.cache = &cache;
+    EXPECT_EQ(reference, failure_probability(g, sources, sink, p, ctx));
+  });
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
 // ---- determinism contract: factoring ----------------------------------------
 
 TEST(EvalCacheDeterminism, CachedFactoringBitIdenticalToPlain) {

@@ -73,6 +73,43 @@ TEST(NogoodStore, PurgeDropsOnlyDominanceEntries) {
   }
 }
 
+TEST(NogoodStore, PurgeNonOracleKeepsOnlyOracleEntries) {
+  NogoodStore store;
+  ASSERT_GE(store.insert(make_nogood({0}, {}, NogoodSource::kInfeasible)), 0);
+  ASSERT_GE(store.insert(make_nogood({1}, {}, NogoodSource::kDominance)), 0);
+  ASSERT_GE(store.insert(make_nogood({2}, {}, NogoodSource::kOracle)), 0);
+  store.purge_non_oracle();
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_EQ(store.stats().purged, 2);
+
+  std::vector<std::pair<int, Nogood>> live;
+  store.snapshot(live);
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].second.source, NogoodSource::kOracle);
+
+  // A purged signature may be re-learned.
+  EXPECT_GE(store.insert(make_nogood({0}, {}, NogoodSource::kInfeasible)), 0);
+  EXPECT_EQ(store.size(), 2);
+}
+
+TEST(NogoodStoreRegistry, AcquireSharesStoresPerKeyAndPurgesNonOracle) {
+  NogoodStoreRegistry registry;
+  const auto a = registry.acquire(7);
+  ASSERT_GE(a->insert(make_nogood({0}, {}, NogoodSource::kOracle)), 0);
+  ASSERT_GE(a->insert(make_nogood({1}, {}, NogoodSource::kInfeasible)), 0);
+
+  // Same key: same store, but only oracle entries survive the re-acquire.
+  const auto b = registry.acquire(7);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(b->size(), 1);
+
+  // Different key: fresh store.
+  const auto c = registry.acquire(8);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->size(), 0);
+  EXPECT_EQ(registry.families(), 2u);
+}
+
 TEST(NogoodStore, DuplicateFromPermanentSourceUpgradesDominanceEntry) {
   // An assignment first learned against the incumbent (transient) and later
   // proven infeasible outright must survive the next purge.

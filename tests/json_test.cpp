@@ -50,6 +50,45 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW((void)parse("nan"), JsonError);
 }
 
+TEST(Json, ParseErrorsCarryLineColumnAndByte) {
+  // Single-line document: the missing comma is noticed one byte after the
+  // separator position (the parser reports where it stopped).
+  try {
+    (void)parse(R"({"a": 1 "b": 2})");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 10u);
+    EXPECT_EQ(e.byte(), 9u);
+    EXPECT_NE(std::string(e.what()).find("line 1, column 10 (byte 9)"),
+              std::string::npos);
+  }
+
+  // Multi-line document: the error position counts newlines.
+  try {
+    (void)parse("{\n  \"a\": 1,\n  \"b\": ?\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_EQ(e.byte(), 19u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Json, ParseErrorAtEndOfInputPointsPastLastByte) {
+  try {
+    (void)parse("[1, 2");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.byte(), 5u);
+  }
+  // Every malformed-input error is the position-carrying subtype.
+  EXPECT_THROW((void)parse("tru"), JsonParseError);
+  EXPECT_THROW((void)parse(""), JsonParseError);
+}
+
 TEST(Json, TypeMismatchThrows) {
   const Value v = parse("[1]");
   EXPECT_THROW((void)v.as_object(), JsonError);
