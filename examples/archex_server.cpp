@@ -35,7 +35,8 @@ using namespace archex;
 
   --port P            TCP port to listen on (default 7750; 0 picks a free one)
   --threads N         concurrent solve workers (default 2)
-  --max-queue Q       queued-request bound before load shedding (default 16)
+  --max-queue Q       queued-request bound before load shedding
+                      (default 16, min 1)
   --deadline S        default per-request budget in seconds (default 60)
   --solver-threads N  per-request solver thread cap (default 0 = serial)
   --no-learning       disable cross-request nogood persistence and solver

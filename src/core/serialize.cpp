@@ -70,6 +70,16 @@ class Doc {
     return i;
   }
 
+  /// 64-bit variant for counters the server serializes as long long
+  /// (solver nodes, nogood-store sizes): values past 2^31 are valid wire
+  /// data and must not be narrowed through int.
+  [[nodiscard]] long long integer64() const {
+    const double n = number();
+    const auto i = static_cast<long long>(n);
+    if (static_cast<double>(i) != n) fail("expected an integer");
+    return i;
+  }
+
   [[nodiscard]] bool boolean() const {
     if (!value_->is_bool()) fail("expected a boolean");
     return value_->as_bool();
@@ -90,6 +100,11 @@ class Doc {
   [[nodiscard]] int integer_or(const std::string& key, int fallback) const {
     const auto member = find(key);
     return member ? member->integer() : fallback;
+  }
+  [[nodiscard]] long long integer64_or(const std::string& key,
+                                       long long fallback) const {
+    const auto member = find(key);
+    return member ? member->integer64() : fallback;
   }
   [[nodiscard]] bool boolean_or(const std::string& key, bool fallback) const {
     const auto member = find(key);
@@ -494,7 +509,8 @@ SolveResponse response_from_json(const std::string& text,
       response.points.push_back(std::move(p));
     }
   }
-  response.solver_nodes = doc.integer_or("solver_nodes", 0);
+  response.solver_nodes =
+      static_cast<long>(doc.integer64_or("solver_nodes", 0));
   response.solve_seconds = doc.number_or("solve_seconds", 0.0);
   response.queue_seconds = doc.number_or("queue_seconds", 0.0);
   if (const auto cache = doc.find("cache")) {
@@ -505,8 +521,10 @@ SolveResponse response_from_json(const std::string& text,
     response.cache_hit_rate = cache->number_or("hit_rate", 0.0);
   }
   if (const auto learning = doc.find("learning")) {
-    response.nogood_store_size = learning->integer_or("store_size", 0);
-    response.nogood_prunings = learning->integer_or("prunings", 0);
+    response.nogood_store_size =
+        static_cast<long>(learning->integer64_or("store_size", 0));
+    response.nogood_prunings =
+        static_cast<long>(learning->integer64_or("prunings", 0));
   }
   return response;
 }

@@ -13,7 +13,7 @@ namespace archex::server {
 SolveServer::SolveServer(SolveServerOptions options)
     : options_(options), service_(options.service) {
   if (options_.workers < 1) options_.workers = 1;
-  if (options_.max_queue < 0) options_.max_queue = 0;
+  if (options_.max_queue < 1) options_.max_queue = 1;
 }
 
 SolveServer::~SolveServer() { stop(); }
@@ -54,6 +54,11 @@ std::uint16_t SolveServer::port() const {
   return listener_ ? listener_->port() : 0;
 }
 
+std::size_t SolveServer::live_connections() const {
+  const std::lock_guard<std::mutex> lock(conn_mu_);
+  return connections_.size();
+}
+
 SolveServer::Stats SolveServer::stats() const {
   Stats out;
   out.connections = stat_connections_.load();
@@ -75,17 +80,34 @@ void SolveServer::accept_loop() {
     stat_connections_.fetch_add(1);
     const std::lock_guard<std::mutex> lock(conn_mu_);
     if (stop_.load()) break;  // raced with stop(): drop the connection
-    const std::size_t index = connections_.size();
+    reap_finished_locked();
     auto conn = std::make_unique<Connection>();
     conn->fd = stream->fd();
+    Connection* raw = conn.get();
     connections_.push_back(std::move(conn));
-    connections_[index]->thread =
-        std::thread(&SolveServer::serve_connection, this, index,
-                    std::move(*stream));
+    raw->thread = std::thread(&SolveServer::serve_connection, this, raw,
+                              std::move(*stream));
   }
 }
 
-void SolveServer::serve_connection(std::size_t index,
+// Join-and-erase connections whose stream has closed. fd == -1 is set under
+// conn_mu_ as the serving thread's last critical section, so observing it
+// here (also under conn_mu_) means the thread is past any lock use and the
+// join returns almost immediately. Without this sweep every connection ever
+// accepted would keep a joinable thread (and its stack) alive until stop().
+void SolveServer::reap_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->fd == -1) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SolveServer::serve_connection(Connection* conn,
                                    support::TcpStream stream) {
   try {
     std::string line;
@@ -102,7 +124,7 @@ void SolveServer::serve_connection(std::size_t index,
   // touch a recycled descriptor.
   const std::lock_guard<std::mutex> lock(conn_mu_);
   stream = support::TcpStream(-1);
-  connections_[index]->fd = -1;
+  conn->fd = -1;
 }
 
 core::SolveResponse SolveServer::dispatch(const std::string& line) {

@@ -44,6 +44,8 @@ struct SolveServerOptions {
   int workers = 2;
   /// Admission bound: requests accepted but not yet started. A request
   /// arriving with the queue full is answered `rejected` immediately.
+  /// Clamped to >= 1 (a bound of 0 would reject every request, even with
+  /// all workers idle).
   int max_queue = 16;
   /// Acceptor poll period (stop-flag observation latency).
   int accept_poll_ms = 100;
@@ -78,6 +80,11 @@ class SolveServer {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Connections currently tracked: open ones plus any finished since the
+  /// last accept (the acceptor reaps finished connections before each
+  /// accept, so this converges to the number of open sockets).
+  [[nodiscard]] std::size_t live_connections() const;
+
  private:
   struct Connection {
     std::thread thread;
@@ -85,7 +92,8 @@ class SolveServer {
   };
 
   void accept_loop();
-  void serve_connection(std::size_t index, support::TcpStream stream);
+  void serve_connection(Connection* conn, support::TcpStream stream);
+  void reap_finished_locked();
   [[nodiscard]] core::SolveResponse dispatch(const std::string& line);
 
   SolveServerOptions options_;
@@ -97,7 +105,7 @@ class SolveServer {
   std::atomic<bool> stop_{false};
   bool started_ = false;
 
-  std::mutex conn_mu_;
+  mutable std::mutex conn_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
   std::atomic<int> queued_{0};

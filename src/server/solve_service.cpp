@@ -213,7 +213,18 @@ core::SolveResponse SolveService::handle(const core::SolveRequest& request) {
       if (!frontier.points.empty()) {
         // Best point: the most reliable architecture the sweep reached.
         const core::ParetoPoint& best = frontier.points.back();
-        response.status = "optimal";
+        // A complete sweep ends with kSuccess (max_points cap or a
+        // tightening stall) or kUnfeasible (template exhausted). Anything
+        // else means the frontier was cut short — by the deadline or a
+        // solver failure — and the partial point list must not claim
+        // "optimal".
+        const bool complete =
+            frontier.terminal_status == core::SynthesisStatus::kSuccess ||
+            frontier.terminal_status == core::SynthesisStatus::kUnfeasible;
+        response.status =
+            complete ? "optimal"
+                     : synthesis_status_string(frontier.terminal_status,
+                                               deadline);
         response.cost = best.configuration.total_cost();
         response.failure = best.exact_failure;
         response.selected_edges = selected_edges(best.configuration);

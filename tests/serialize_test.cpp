@@ -333,6 +333,21 @@ TEST(SerializeEnvelope, ResponseRoundTripPreservesEverything) {
   EXPECT_EQ(restored.points[0].selected_edges, (std::vector<int>{1, 3}));
 }
 
+TEST(SerializeEnvelope, ResponseCountersSurvivePast32Bits) {
+  // The server serializes effort counters as long long; a long-lived server
+  // can legitimately exceed 2^31 nodes, so parsing must not narrow via int.
+  SolveResponse response;
+  response.id = "r-big";
+  response.status = "optimal";
+  response.solver_nodes = 3'000'000'000L;
+  response.nogood_store_size = 5'000'000'000L;
+  response.nogood_prunings = 6'000'000'000L;
+  const SolveResponse restored = response_from_json(to_json(response));
+  EXPECT_EQ(restored.solver_nodes, 3'000'000'000L);
+  EXPECT_EQ(restored.nogood_store_size, 5'000'000'000L);
+  EXPECT_EQ(restored.nogood_prunings, 6'000'000'000L);
+}
+
 TEST(SerializeEnvelope, ErrorResponseCarriesDiagnostic) {
   SolveResponse response;
   response.id = "r-9";

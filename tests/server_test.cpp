@@ -192,23 +192,49 @@ TEST(SolveServerTest, ConcurrentClientsShareTheCache) {
   EXPECT_EQ(server.stats().requests, kClients * kRequestsEach);
 }
 
-TEST(SolveServerTest, AdmissionControlShedsWhenQueueIsFull) {
+TEST(SolveServerTest, MaxQueueZeroIsClampedAndStillAdmitsWhenIdle) {
   server::SolveServerOptions options;
   options.workers = 1;
-  options.max_queue = 0;  // no waiting room: every request is shed
+  options.max_queue = 0;  // clamped to 1: an idle server must not shed
   server::SolveServer server(options);
   server.start();
 
   support::TcpStream client =
       support::TcpStream::connect("127.0.0.1", server.port());
   const core::SolveResponse response =
-      exchange(client, eps_request("r-shed", 1, 1e-4));
-  EXPECT_EQ(response.id, "r-shed");
-  EXPECT_EQ(response.status, "rejected");
-  EXPECT_NE(response.error.find("queue full"), std::string::npos);
+      exchange(client, eps_request("r-idle", 1, 1e-4));
+  EXPECT_EQ(response.id, "r-idle");
+  EXPECT_EQ(response.status, "unfeasible");
 
   server.stop();
-  EXPECT_EQ(server.stats().shed, 1);
+  EXPECT_EQ(server.stats().shed, 0);
+}
+
+TEST(SolveServerTest, FinishedConnectionsAreReaped) {
+  server::SolveServer server;
+  server.start();
+  {
+    support::TcpStream first =
+        support::TcpStream::connect("127.0.0.1", server.port());
+    const core::SolveResponse response =
+        exchange(first, eps_request("r-first", 1, 1e-4));
+    EXPECT_EQ(response.status, "unfeasible");
+  }  // closed: the serving thread sees EOF and marks itself finished
+
+  // Each accept reaps connections already finished, so the tracked set
+  // converges to the live set instead of growing per connection forever.
+  bool reaped = false;
+  for (int attempt = 0; attempt < 50 && !reaped; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    support::TcpStream probe =
+        support::TcpStream::connect("127.0.0.1", server.port());
+    const core::SolveResponse response =
+        exchange(probe, eps_request("r-probe", 1, 1e-4));
+    EXPECT_EQ(response.status, "unfeasible");
+    reaped = server.live_connections() <= 1;  // just the open probe
+  }
+  EXPECT_TRUE(reaped);
+  server.stop();
 }
 
 TEST(SolveServerTest, OverloadShedsButAdmittedRequestsComplete) {
